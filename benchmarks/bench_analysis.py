@@ -1,0 +1,46 @@
+"""Analysis micro-benches: Figures 4–6 constructions and Theorem 6 counts.
+
+These regenerate the paper's Section 4 artifacts: the counter-example
+checks (statements M1, M2, M3b of Table 1) and the expected Pareto-plan
+counts behind Theorem 6's bound.
+
+Run with::
+
+    pytest benchmarks/bench_analysis.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (check_m1_on, check_m2_nonconvex_pareto_region,
+                            check_m3b, figure4, figure5, figure6,
+                            theorem6_observation)
+
+
+def test_figure4_m1(benchmark):
+    example = figure4()
+    assert benchmark(lambda: check_m1_on(example))
+
+
+def test_figure5_m2(benchmark):
+    example = figure5()
+    assert benchmark.pedantic(
+        lambda: check_m2_nonconvex_pareto_region(example),
+        rounds=1, iterations=1)
+
+
+def test_figure6_m3b(benchmark):
+    example = figure6()
+    assert benchmark(lambda: check_m3b(example))
+
+
+@pytest.mark.parametrize("num_params,num_metrics", [(1, 1), (1, 2), (2, 2)])
+def test_theorem6_pareto_counts(benchmark, num_params, num_metrics):
+    obs = benchmark(lambda: theorem6_observation(
+        num_plans=30, num_params=num_params, num_metrics=num_metrics,
+        trials=3))
+    benchmark.extra_info.update({
+        "observed_mean": obs.observed,
+        "theorem6_bound": obs.bound,
+    })

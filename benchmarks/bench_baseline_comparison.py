@@ -1,0 +1,104 @@
+"""Baselines vs. MPQ: the optimization-cost hierarchy of Section 1.
+
+CQ < MQ < PQ < MPQ in optimization effort — MPQ "is computationally
+expensive [but] happens before run time and pays off as it avoids run-time
+query optimization altogether" (Section 7 discussion).  This bench
+measures all four on the same query, and additionally quantifies the
+coverage gap of running MQ at sampled parameter points instead of MPQ.
+
+Run with::
+
+    pytest benchmarks/bench_baseline_comparison.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ClassicalOptimizer, MQOptimizer, PQOptimizer
+from repro.bench import SweepPoint, queries_for_point
+from repro.cloud import CloudCostModel
+from repro.core import PWLRRPA
+
+POINT = SweepPoint(num_tables=4, shape="chain", num_params=1, resolution=2)
+
+
+@pytest.fixture(scope="module")
+def query():
+    return queries_for_point(POINT, 1)[0]
+
+
+@pytest.fixture(scope="module")
+def model(query):
+    return CloudCostModel(query, resolution=2)
+
+
+def test_classical(benchmark, query, model):
+    result = benchmark(
+        lambda: ClassicalOptimizer(model, [0.5],
+                                   weights={"time": 1.0}).optimize(query))
+    benchmark.extra_info["plans_created"] = result.plans_created
+
+
+def test_mq_at_fixed_point(benchmark, query, model):
+    result = benchmark(lambda: MQOptimizer(model, [0.5]).optimize(query))
+    benchmark.extra_info["frontier_size"] = len(result.frontier)
+
+
+def test_pq_single_metric(benchmark, query):
+    optimizer = PQOptimizer(
+        cost_model_factory=lambda q: CloudCostModel(q, resolution=2),
+        metric="time")
+    result = benchmark.pedantic(lambda: optimizer.optimize(query),
+                                rounds=1, iterations=1)
+    benchmark.extra_info["plans_kept"] = len(result.entries)
+    benchmark.extra_info["lps_solved"] = result.stats.lps_solved
+
+
+def test_mpq_full(benchmark, query):
+    optimizer = PWLRRPA(
+        cost_model_factory=lambda q: CloudCostModel(q, resolution=2))
+    result = benchmark.pedantic(lambda: optimizer.optimize(query),
+                                rounds=1, iterations=1)
+    benchmark.extra_info["plans_kept"] = len(result.entries)
+    benchmark.extra_info["lps_solved"] = result.stats.lps_solved
+
+
+def test_mq_sampling_coverage_gap(benchmark, query, model):
+    """How much of MPQ's frontier does point-sampled MQ miss?
+
+    Runs MQ at 3 sampled parameter points and measures, across a finer
+    evaluation grid, how far the union of those three frontiers is from
+    the MPQ frontier (max relative regret on the weighted-sum family).
+    This is the Section 1.1 / M3b argument quantified.
+    """
+    mpq = PWLRRPA(
+        cost_model_factory=lambda q: CloudCostModel(q, resolution=2)
+    ).optimize(query)
+
+    def sampled_mq_plans():
+        plans = []
+        for x in (0.1, 0.5, 0.9):
+            plans.extend(
+                p for __, p in MQOptimizer(model, [x]).optimize(
+                    query).frontier)
+        return plans
+
+    mq_plans = benchmark(sampled_mq_plans)
+    worst_regret = 0.0
+    for x in np.linspace(0.05, 0.95, 10):
+        for weights in ({"time": 1.0}, {"fees": 1.0},
+                        {"time": 1.0, "fees": 1.0}):
+            def score(plan):
+                cost = model.plan_cost(plan).evaluate([x])
+                return sum(weights.get(m, 0) * v for m, v in cost.items())
+            mq_best = min(score(p) for p in mq_plans)
+            mpq_best = min(
+                sum(weights.get(m, 0) * v
+                    for m, v in e.cost.evaluate([x]).items())
+                for e in mpq.entries)
+            if mpq_best > 0:
+                worst_regret = max(worst_regret, mq_best / mpq_best - 1.0)
+    benchmark.extra_info["mq_sampling_worst_regret"] = round(
+        worst_regret, 4)

@@ -1,0 +1,33 @@
+"""Figure 12, left column: chain queries.
+
+Regenerates the three panels — optimization time, #created plans, #solved
+LPs — for chain queries with 1 and 2 parameters.  Table counts are scaled
+down relative to the paper (Python LP solving vs. Java + Gurobi; see
+EXPERIMENTS.md); the growth *shapes* are what is being reproduced.
+
+Run with::
+
+    pytest benchmarks/bench_fig12_chain.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SweepPoint
+
+
+@pytest.mark.parametrize("num_tables", [2, 3, 4, 5])
+def test_chain_one_param(benchmark, record_point, num_tables):
+    point = SweepPoint(num_tables=num_tables, shape="chain", num_params=1,
+                       resolution=2)
+    m = record_point(benchmark, point)
+    assert m.pareto_plans >= 1
+
+
+@pytest.mark.parametrize("num_tables", [2, 3])
+def test_chain_two_params(benchmark, record_point, num_tables):
+    point = SweepPoint(num_tables=num_tables, shape="chain", num_params=2,
+                       resolution=1)
+    m = record_point(benchmark, point)
+    assert m.pareto_plans >= 1

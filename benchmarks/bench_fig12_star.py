@@ -1,0 +1,34 @@
+"""Figure 12, right column: star queries.
+
+Same three panels as the chain column.  The paper finds star queries
+harder than chain queries for the same table count when Cartesian products
+are postponed (more connected sub-sets / splits); the recorded
+``plans_created`` / ``lps_solved`` extra-info lets EXPERIMENTS.md verify
+that relationship.
+
+Run with::
+
+    pytest benchmarks/bench_fig12_star.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SweepPoint
+
+
+@pytest.mark.parametrize("num_tables", [2, 3, 4, 5])
+def test_star_one_param(benchmark, record_point, num_tables):
+    point = SweepPoint(num_tables=num_tables, shape="star", num_params=1,
+                       resolution=2)
+    m = record_point(benchmark, point)
+    assert m.pareto_plans >= 1
+
+
+@pytest.mark.parametrize("num_tables", [2, 3])
+def test_star_two_params(benchmark, record_point, num_tables):
+    point = SweepPoint(num_tables=num_tables, shape="star", num_params=2,
+                       resolution=1)
+    m = record_point(benchmark, point)
+    assert m.pareto_plans >= 1

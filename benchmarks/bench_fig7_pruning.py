@@ -1,0 +1,75 @@
+"""Figure 7: the pruning step on a two-table Cloud join.
+
+Benchmarks the elementary pruning interaction the paper illustrates in
+Figure 7 — comparing a single-node join plan against a parallel join plan
+and reducing the parallel plan's relevance region to the high-selectivity
+interval — plus the underlying `Dom` computation in isolation.
+
+Run with::
+
+    pytest benchmarks/bench_fig7_pruning.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import SweepPoint, queries_for_point
+from repro.cloud import CloudCostModel
+from repro.core import optimize_cloud_query
+from repro.lp import LinearProgramSolver, LPStats
+from repro.plans import (PARALLEL_HASH_JOIN, SINGLE_NODE_HASH_JOIN,
+                         ScanPlan, combine)
+
+
+@pytest.fixture(scope="module")
+def two_table_setup():
+    point = SweepPoint(num_tables=2, shape="chain", num_params=1,
+                       resolution=2)
+    query = queries_for_point(point, 1)[0]
+    model = CloudCostModel(query, resolution=2)
+    t0, t1 = query.tables
+    scans = [ScanPlan(table=t, operator=model.scan_operators(t)[0])
+             for t in (t0, t1)]
+    single = combine(scans[0], scans[1], SINGLE_NODE_HASH_JOIN)
+    parallel = combine(scans[0], scans[1], PARALLEL_HASH_JOIN)
+    return query, model, single, parallel
+
+
+def test_dominance_computation(benchmark, two_table_setup):
+    """The `Dom` operation between the two Figure 7 plans."""
+    __, model, single, parallel = two_table_setup
+    c_single = model.plan_cost(single)
+    c_parallel = model.plan_cost(parallel)
+    solver = LinearProgramSolver(stats=LPStats())
+
+    polys = benchmark(
+        lambda: c_single.dominance_polytopes(c_parallel, solver))
+    # The single-node plan dominates the parallel plan on a low-
+    # selectivity region (it never dominates everywhere: the parallel
+    # plan wins on time for large inputs).
+    benchmark.extra_info["dominance_polytopes"] = len(polys)
+
+
+def test_full_two_table_optimization(benchmark, two_table_setup):
+    """Figure 7 end-to-end: both plans generated, RRs shaped correctly."""
+    query, __, __, __ = two_table_setup
+    result = benchmark.pedantic(
+        lambda: optimize_cloud_query(query, resolution=2),
+        rounds=1, iterations=1)
+    assert result.entries
+    # Every surviving parallel-join plan must be irrelevant for at least
+    # the lowest selectivities or relevant somewhere — record the split.
+    xs = np.linspace(0.01, 0.99, 25)
+    relevant_counts = {
+        "parallel": 0,
+        "single": 0,
+    }
+    for entry in result.entries:
+        kind = ("parallel" if any(
+            getattr(n.operator, "parallel", False)
+            for n in entry.plan.nodes()) else "single")
+        if any(entry.region.contains_point([x]) for x in xs):
+            relevant_counts[kind] += 1
+    benchmark.extra_info.update(relevant_counts)

@@ -1,0 +1,64 @@
+"""Generic RRPA (grid backend) vs. PWL-RRPA.
+
+The generic algorithm of Section 5 is cost-function-agnostic; the PWL
+specialization of Section 6 buys exact continuous-space guarantees at the
+price of LP-based geometry.  This bench compares the two instantiations on
+the same queries: grid-RRPA (exact polynomial costs, finite parameter
+grid, no LPs) vs. PWL-RRPA.
+
+Run with::
+
+    pytest benchmarks/bench_generic_vs_pwl.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SweepPoint, queries_for_point
+from repro.cloud import CloudCostModel
+from repro.core import GridBackend, PWLRRPA, RRPA, make_grid
+
+
+@pytest.fixture(scope="module", params=[3, 4])
+def setup(request):
+    point = SweepPoint(num_tables=request.param, shape="chain",
+                       num_params=1, resolution=2)
+    query = queries_for_point(point, 1)[0]
+    return point, query
+
+
+def test_grid_backend(benchmark, setup):
+    point, query = setup
+    model = CloudCostModel(query, resolution=point.resolution)
+
+    def run():
+        backend = GridBackend(query, model,
+                              points=make_grid(1, points_per_axis=9))
+        return RRPA(backend).optimize(query)
+
+    result = benchmark(run)
+    benchmark.extra_info.update({
+        "tables": point.num_tables,
+        "backend": "grid",
+        "pareto_plans": len(result.entries),
+        "plans_created": result.stats.plans_created,
+    })
+
+
+def test_pwl_backend(benchmark, setup):
+    point, query = setup
+
+    def run():
+        optimizer = PWLRRPA(cost_model_factory=lambda q: CloudCostModel(
+            q, resolution=point.resolution))
+        return optimizer.optimize(query)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "tables": point.num_tables,
+        "backend": "pwl",
+        "pareto_plans": len(result.entries),
+        "plans_created": result.stats.plans_created,
+        "lps_solved": result.stats.lps_solved,
+    })

@@ -1,0 +1,66 @@
+"""Exhaustive MPQ vs. the greedy heuristic portfolio.
+
+Section 3 of the paper contrasts exhaustive algorithms (formal
+completeness guarantees) with randomized/heuristic ones (no guarantees).
+This bench quantifies both sides of that trade on the same queries:
+heuristic speed-up vs. how much of the exhaustive frontier it recovers.
+
+Run with::
+
+    pytest benchmarks/bench_heuristic.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import GreedyJoinOrderer, heuristic_coverage
+from repro.bench import SweepPoint, queries_for_point
+from repro.cloud import CloudCostModel
+from repro.core import PWLRRPA
+
+
+@pytest.fixture(scope="module", params=[4, 5])
+def setup(request):
+    point = SweepPoint(num_tables=request.param, shape="chain",
+                       num_params=1, resolution=2)
+    query = queries_for_point(point, 1)[0]
+    model = CloudCostModel(query, resolution=2)
+    return query, model
+
+
+def test_greedy_portfolio(benchmark, setup):
+    query, model = setup
+    orderer = GreedyJoinOrderer(model)
+    result = benchmark(lambda: orderer.optimize(query))
+    benchmark.extra_info.update({
+        "tables": query.num_tables,
+        "plans_kept": len(result.plans),
+        "plans_created": result.plans_created,
+    })
+
+
+def test_exhaustive_with_coverage(benchmark, setup):
+    query, model = setup
+    optimizer = PWLRRPA()
+    exhaustive = benchmark.pedantic(
+        lambda: optimizer.optimize_with_model(query, model),
+        rounds=1, iterations=1)
+    greedy = GreedyJoinOrderer(model).optimize(query)
+    points = [np.array([v]) for v in np.linspace(0.05, 0.95, 7)]
+    tight = heuristic_coverage(greedy, exhaustive.entries, model, points,
+                               tolerance=0.01)
+    loose = heuristic_coverage(greedy, exhaustive.entries, model, points,
+                               tolerance=0.25)
+    benchmark.extra_info.update({
+        "tables": query.num_tables,
+        "exhaustive_plans": len(exhaustive.entries),
+        "greedy_plans": len(greedy.plans),
+        "greedy_coverage_within_1pct": round(tight, 4),
+        "greedy_coverage_within_25pct": round(loose, 4),
+    })
+    # Greedy left-deep construction may miss every tight optimum (that is
+    # the point of exhaustive search); coverage must only be well-formed
+    # and monotone in the tolerance.
+    assert 0.0 <= tight <= loose <= 1.0

@@ -1,0 +1,93 @@
+"""Scenario 1: Cloud time/fees trade-offs, including Figure 7's pruning.
+
+Part A rebuilds the paper's Figure 7 situation with a two-table join:
+
+* plan 1 uses the single-node hash join (no shuffle, cheaper fees, slower
+  for large inputs);
+* plan 2 uses the parallel hash join (shuffle makes it always more
+  expensive, parallelism makes it faster once enough data flows).
+
+The relevance region of the parallel plan — the selectivity range where it
+stays relevant after pruning against the single-node plan — comes out as
+an interval ``[s*, 1]``, reproducing the figure's shape (the paper's
+constants put ``s*`` at 0.25).
+
+Part B runs the full Scenario 1 workflow on a larger query: a Web user
+submits predicate values, the Cloud provider shows the time/fees frontier,
+and the user picks a trade-off ("fastest plan under a fee budget").
+
+Run with::
+
+    python examples/cloud_tradeoffs.py
+"""
+
+import numpy as np
+
+from repro import PlanSelector, QueryGenerator, optimize_cloud_query
+from repro.errors import OptimizationError
+from repro.plans import one_line
+
+
+def part_a_figure7() -> None:
+    print("=" * 64)
+    print("Part A — Figure 7: pruning the parallel join against the")
+    print("single-node join on a 2-table query with one parameter")
+    print("=" * 64)
+    query = QueryGenerator(seed=3).generate(num_tables=2, shape="chain",
+                                            num_params=1)
+    result = optimize_cloud_query(query, resolution=2)
+
+    parallel_entries = [
+        entry for entry in result.entries
+        if any(getattr(node.operator, "parallel", False)
+               for node in entry.plan.nodes())]
+    print(f"\nPareto plans: {len(result.entries)} "
+          f"({len(parallel_entries)} using the parallel join)")
+
+    # Probe each plan's relevance region across the selectivity axis.
+    xs = np.linspace(0.01, 0.99, 25)
+    for entry in result.entries:
+        marks = "".join("x" if entry.region.contains_point([x]) else "."
+                        for x in xs)
+        print(f"  {one_line(entry.plan):40s} RR: |{marks}|")
+    print("  (selectivity 0 on the left, 1 on the right; 'x' = relevant)")
+
+
+def part_b_web_interface() -> None:
+    print()
+    print("=" * 64)
+    print("Part B — the Cloud provider's Web interface on a 5-table query")
+    print("=" * 64)
+    query = QueryGenerator(seed=11).generate(num_tables=5, shape="chain",
+                                             num_params=1)
+    result = optimize_cloud_query(query, resolution=2)
+    selector = PlanSelector(result)
+
+    for selectivity in (0.05, 0.5, 0.95):
+        x = [selectivity]
+        print(f"\nUser submits predicates; observed selectivity "
+              f"{selectivity}:")
+        frontier = sorted(selector.frontier(x),
+                          key=lambda pc: pc[1]["time"])
+        for plan, cost in frontier:
+            bar = "*" * max(1, int(cost["fees"] / frontier[0][1]["fees"]))
+            print(f"  time={cost['time']:.4f}h fees=${cost['fees']:.4f} "
+                  f"{bar:<10s} {one_line(plan)}")
+
+        budget = frontier[0][1]["fees"] * 1.2
+        try:
+            pick = selector.by_bounded_metric(x, minimize="time",
+                                              bounds={"fees": budget})
+            print(f"  -> fastest plan under ${budget:.4f}: "
+                  f"{one_line(pick.plan)} (time {pick.cost['time']:.4f}h)")
+        except OptimizationError as exc:
+            print(f"  -> no plan within budget: {exc}")
+
+
+def main() -> None:
+    part_a_figure7()
+    part_b_web_interface()
+
+
+if __name__ == "__main__":
+    main()

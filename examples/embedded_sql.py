@@ -1,0 +1,73 @@
+"""Scenario 2: embedded SQL with approximate query processing.
+
+The paper's second scenario (Section 1): all relevant plans for an
+embedded query template are precomputed; at run time the application picks
+a plan based on concrete parameter values *and* a policy trading execution
+time against result precision — e.g. a dashboard accepts 10% samples under
+load, a billing report requires exact results.
+
+Metrics: ``time`` (sum-accumulated) and ``precision_loss``
+(max-accumulated — the least precise input bounds the result), exercising
+the non-additive accumulation of Algorithm 3.
+
+Run with::
+
+    python examples/embedded_sql.py
+"""
+
+from repro import PlanSelector, PWLRRPA, QueryGenerator
+from repro.approx import ApproxCostModel
+from repro.errors import OptimizationError
+from repro.plans import one_line
+
+
+def main() -> None:
+    query = QueryGenerator(seed=5).generate(num_tables=3, shape="chain",
+                                            num_params=1)
+    print(f"Embedded query template: {query.num_tables} tables, "
+          f"{query.num_params} run-time parameter(s)\n")
+
+    optimizer = PWLRRPA(
+        cost_model_factory=lambda q: ApproxCostModel(q, resolution=2))
+    result = optimizer.optimize(query)
+    print(f"Precomputed {len(result.entries)} Pareto plans "
+          f"({result.stats.plans_created} generated, "
+          f"{result.stats.lps_solved} LPs)\n")
+
+    selector = PlanSelector(result)
+    x = [0.4]  # run-time selectivity of the parameterized predicate
+
+    print(f"Time / precision frontier at selectivity {x[0]}:")
+    for plan, cost in sorted(selector.frontier(x),
+                             key=lambda pc: pc[1]["time"]):
+        precision = 1.0 - cost["precision_loss"]
+        print(f"  time={cost['time']:.5f}h precision={precision:.0%}  "
+              f"{one_line(plan)}")
+
+    # Policy 1: interactive dashboard — fastest plan with >= 50% precision.
+    dashboard = selector.by_bounded_metric(
+        x, minimize="time", bounds={"precision_loss": 0.5})
+    print(f"\nDashboard policy (precision >= 50%): "
+          f"{one_line(dashboard.plan)} "
+          f"(time {dashboard.cost['time']:.5f}h)")
+
+    # Policy 2: billing report — exact results only.
+    try:
+        billing = selector.by_bounded_metric(
+            x, minimize="time", bounds={"precision_loss": 0.0})
+        print(f"Billing policy (exact results):    "
+              f"{one_line(billing.plan)} "
+              f"(time {billing.cost['time']:.5f}h)")
+    except OptimizationError as exc:
+        print(f"Billing policy: {exc}")
+
+    # Policy 3: overload — cheapest time whatever the precision.
+    overload = selector.by_weighted_sum(x, {"time": 1.0})
+    print(f"Overload policy (fastest):         "
+          f"{one_line(overload.plan)} "
+          f"(time {overload.cost['time']:.5f}h, precision "
+          f"{1 - overload.cost['precision_loss']:.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Regenerate Figure 12: the paper's full experimental evaluation.
+
+Sweeps chain and star queries over table counts with 1 and 2 parameters,
+optimizing several random queries per point with PWL-RRPA and reporting
+the medians of optimization time, #created plans and #solved LPs — the
+exact quantities of the paper's Figure 12, as tables plus ASCII log-scale
+charts.
+
+Run with::
+
+    python examples/figure12.py            # quick profile (minutes)
+    python examples/figure12.py --full     # larger profile (tens of min)
+
+The table counts are scaled down relative to the paper's 12-table maximum
+(pure-Python LP solving; see EXPERIMENTS.md for the calibration), but the
+trends — superlinear growth in tables, extra cost per parameter, star
+above chain, #LPs well above #plans — are all reproduced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import FULL, QUICK, figure12_report, run_sweep
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run the larger sweep profile")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed for workload generation")
+    args = parser.parse_args(argv)
+
+    profile = FULL if args.full else QUICK
+    print(f"Running Figure 12 sweep, profile '{profile.name}' "
+          f"({profile.queries_per_point} queries per point)...",
+          flush=True)
+
+    chain = run_sweep(profile, "chain", base_seed=args.seed)
+    print("chain sweep done.", flush=True)
+    star = run_sweep(profile, "star", base_seed=args.seed)
+    print("star sweep done.\n", flush=True)
+
+    print(figure12_report(chain, star))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

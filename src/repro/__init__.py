@@ -1,0 +1,90 @@
+"""repro — Multi-Objective Parametric Query Optimization (MPQ).
+
+A complete reproduction of Trummer & Koch, "Multi-Objective Parametric
+Query Optimization" (VLDB 2014): the generic Relevance Region Pruning
+Algorithm (RRPA), its piecewise-linear specialization PWL-RRPA, the Cloud
+cost-model scenario the paper evaluates, classical/multi-objective/
+parametric baselines, and the full experimental harness for Figure 12.
+
+Quickstart::
+
+    from repro import QueryGenerator, optimize_cloud_query, PlanSelector
+
+    query = QueryGenerator(seed=1).generate(num_tables=4, shape="chain",
+                                            num_params=1)
+    result = optimize_cloud_query(query)
+    selector = PlanSelector(result)
+    best = selector.by_weighted_sum(x=[0.4], weights={"time": 1.0,
+                                                      "fees": 0.5})
+    print(best.plan, best.cost)
+"""
+
+from .catalog import Catalog, Column, Index, Table
+from .cloud import CloudCostModel, ClusterSpec, PricingModel
+from .core import (GridBackend, OptimizationResult, OptimizerStats,
+                   PWLBackend, PWLRRPA, PWLRRPAOptions, PlanEntry,
+                   PlanSelector, RRPA, RRPABackend, SelectedPlan, make_grid,
+                   optimize_cloud_query, optimize_with)
+from .cost import (APPROX_METRICS, CLOUD_METRICS, CostMetric, LinearPiece,
+                   MultiObjectivePWL, ParamPolynomial,
+                   PiecewiseLinearFunction, SharedPartition)
+from .errors import ReproError
+from .geometry import ConvexPolytope, LinearConstraint, RelevanceRegion
+from .lp import LinearProgramSolver, LPStats
+from .plans import (JoinOperator, JoinPlan, Plan, ScanOperator, ScanPlan,
+                    combine, one_line, render_plan)
+from .query import (JoinGraph, JoinPredicate, ParametricPredicate, Query,
+                    QueryGenerator)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APPROX_METRICS",
+    "CLOUD_METRICS",
+    "Catalog",
+    "CloudCostModel",
+    "ClusterSpec",
+    "Column",
+    "ConvexPolytope",
+    "CostMetric",
+    "GridBackend",
+    "Index",
+    "JoinGraph",
+    "JoinOperator",
+    "JoinPlan",
+    "JoinPredicate",
+    "LPStats",
+    "LinearConstraint",
+    "LinearPiece",
+    "LinearProgramSolver",
+    "MultiObjectivePWL",
+    "OptimizationResult",
+    "OptimizerStats",
+    "PWLBackend",
+    "PWLRRPA",
+    "PWLRRPAOptions",
+    "ParamPolynomial",
+    "ParametricPredicate",
+    "PiecewiseLinearFunction",
+    "Plan",
+    "PlanEntry",
+    "PlanSelector",
+    "PricingModel",
+    "Query",
+    "QueryGenerator",
+    "RRPA",
+    "RRPABackend",
+    "RelevanceRegion",
+    "ReproError",
+    "ScanOperator",
+    "ScanPlan",
+    "SelectedPlan",
+    "SharedPartition",
+    "Table",
+    "combine",
+    "make_grid",
+    "one_line",
+    "optimize_cloud_query",
+    "optimize_with",
+    "render_plan",
+]

@@ -1,0 +1,30 @@
+"""Problem analysis: executable Section 4 counter-examples and checks."""
+
+from .counterexamples import (CounterExample, all_examples, figure4, figure5,
+                              figure6, pareto_plans_at)
+from .diagrams import PlanDiagram, compute_diagram, render_diagram
+from .properties import (ParetoCountObservation, check_m1_on,
+                         check_m2_nonconvex_pareto_region, check_m3b,
+                         check_s1_single_metric,
+                         check_theorem2_dominance_convex, pvi_pareto_count,
+                         theorem6_observation)
+
+__all__ = [
+    "CounterExample",
+    "ParetoCountObservation",
+    "PlanDiagram",
+    "all_examples",
+    "compute_diagram",
+    "render_diagram",
+    "check_m1_on",
+    "check_m2_nonconvex_pareto_region",
+    "check_m3b",
+    "check_s1_single_metric",
+    "check_theorem2_dominance_convex",
+    "figure4",
+    "figure5",
+    "figure6",
+    "pareto_plans_at",
+    "pvi_pareto_count",
+    "theorem6_observation",
+]

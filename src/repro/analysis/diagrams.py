@@ -1,0 +1,128 @@
+"""Pareto plan diagrams: visualizing plan sets over the parameter space.
+
+Reddy & Haritsa's *plan diagrams* (cited as [25] in the paper) color each
+point of the parameter space by the plan a classical optimizer picks.  The
+MPQ analogue colors each point by the **set** of Pareto-optimal plans
+there.  This module computes such diagrams from an optimization result on
+a sampling grid and renders them as ASCII maps (1-D strips or 2-D grids),
+which the analysis example and tests use to show how plan regions tile the
+parameter space — including the non-convex, disconnected regions that
+Section 4 proves are possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..plans import one_line
+
+#: Symbols used to label distinct Pareto sets in rendered diagrams.
+_SYMBOLS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+
+@dataclass
+class PlanDiagram:
+    """A computed Pareto plan diagram.
+
+    Attributes:
+        points: Sampled parameter vectors, shape ``(n, dim)``.
+        labels: For each point, a frozenset of plan indices that are
+            Pareto-optimal there (indices into ``plans``).
+        plans: The distinct plans appearing anywhere in the diagram.
+    """
+
+    points: np.ndarray
+    labels: list[frozenset[int]]
+    plans: list
+
+    @property
+    def dim(self) -> int:
+        """Parameter-space dimensionality."""
+        return int(self.points.shape[1])
+
+    def distinct_regions(self) -> list[frozenset[int]]:
+        """The distinct Pareto sets appearing in the diagram."""
+        seen: list[frozenset[int]] = []
+        for label in self.labels:
+            if label not in seen:
+                seen.append(label)
+        return seen
+
+    def region_of_plan(self, plan_index: int) -> np.ndarray:
+        """Boolean mask of sample points where one plan is Pareto-optimal."""
+        return np.array([plan_index in label for label in self.labels])
+
+    def plan_region_is_interval(self, plan_index: int) -> bool:
+        """For 1-D diagrams: is the plan's region a contiguous interval?
+
+        Statement M2 predicts this can be ``False`` for MPQ.
+        """
+        if self.dim != 1:
+            raise ValueError("interval check requires a 1-D diagram")
+        mask = self.region_of_plan(plan_index)
+        indices = np.nonzero(mask)[0]
+        if len(indices) == 0:
+            return True
+        return bool(np.all(mask[indices[0]:indices[-1] + 1]))
+
+
+def compute_diagram(result, points_per_axis: int = 25) -> PlanDiagram:
+    """Compute the Pareto plan diagram of an optimization result.
+
+    Args:
+        result: An :class:`repro.core.OptimizationResult`.
+        points_per_axis: Sampling density per parameter axis.
+
+    Returns:
+        The diagram over a regular grid on the unit parameter box.
+    """
+    dim = max(1, result.query.num_params)
+    axes = [np.linspace(0.0, 1.0, points_per_axis) for __ in range(dim)]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    points = np.stack([m.reshape(-1) for m in mesh], axis=1)
+
+    plans = [entry.plan for entry in result.entries]
+    labels: list[frozenset[int]] = []
+    for x in points:
+        frontier = result.frontier_at(x)
+        frontier_sigs = {plan.signature() for plan, __ in frontier}
+        labels.append(frozenset(
+            i for i, plan in enumerate(plans)
+            if plan.signature() in frontier_sigs))
+    return PlanDiagram(points=points, labels=labels, plans=plans)
+
+
+def render_diagram(diagram: PlanDiagram, max_legend: int = 12) -> str:
+    """Render a 1-D or 2-D diagram as an ASCII map with a legend.
+
+    Each distinct Pareto set gets one symbol; the legend lists the plans
+    of the first ``max_legend`` sets.
+    """
+    regions = diagram.distinct_regions()
+    symbol_of = {label: _SYMBOLS[i % len(_SYMBOLS)]
+                 for i, label in enumerate(regions)}
+    lines = []
+    if diagram.dim == 1:
+        row = "".join(symbol_of[label] for label in diagram.labels)
+        lines.append(f"x0: 0 |{row}| 1")
+    elif diagram.dim == 2:
+        per_axis = int(round(len(diagram.labels) ** 0.5))
+        grid = np.array([symbol_of[label] for label in diagram.labels]
+                        ).reshape(per_axis, per_axis)
+        for j in reversed(range(per_axis)):
+            lines.append("  |" + "".join(grid[:, j]) + "|")
+        lines.append("  (x0 rightwards, x1 upwards)")
+    else:
+        lines.append(f"({len(regions)} distinct Pareto sets over "
+                     f"{len(diagram.labels)} sample points)")
+    lines.append("")
+    lines.append(f"{len(regions)} distinct Pareto sets; legend:")
+    for label in regions[:max_legend]:
+        plan_text = ", ".join(one_line(diagram.plans[i])
+                              for i in sorted(label))
+        lines.append(f"  {symbol_of[label]}: {{{plan_text}}}")
+    if len(regions) > max_legend:
+        lines.append(f"  ... and {len(regions) - max_legend} more")
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Scenario 2 substrate: approximate processing (time vs. precision loss)."""
+
+from .costmodel import ApproxCostModel
+
+__all__ = ["ApproxCostModel"]

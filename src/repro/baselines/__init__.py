@@ -1,0 +1,27 @@
+"""Baseline optimizers: the three problem variants MPQ generalizes.
+
+* :class:`ClassicalOptimizer` — CQ: one metric, fixed parameters
+  (Selinger-style DP).
+* :class:`MQOptimizer` — MQ: cost vectors, fixed parameters (Pareto
+  pruning, Ganguly/Hasan/Krishnamurthy 1992 style).
+* :class:`PQOptimizer` — PQ: one metric, parametric costs (DP with
+  region-of-optimality pruning, Hulgeri/Sudarshan style).
+"""
+
+from .classical import ClassicalOptimizer, ClassicalResult
+from .heuristics import GreedyJoinOrderer, GreedyResult, heuristic_coverage
+from .mq import MQOptimizer, MQResult, pareto_filter
+from .pq import PQOptimizer, SingleMetricModel
+
+__all__ = [
+    "ClassicalOptimizer",
+    "ClassicalResult",
+    "GreedyJoinOrderer",
+    "GreedyResult",
+    "MQOptimizer",
+    "MQResult",
+    "PQOptimizer",
+    "SingleMetricModel",
+    "heuristic_coverage",
+    "pareto_filter",
+]

@@ -1,0 +1,124 @@
+"""Classical query optimization (CQ): Selinger-style dynamic programming.
+
+The paper positions MPQ against three prior problem variants (Section 1);
+CQ is the base case — one cost metric, no parameters, each plan has one
+scalar cost.  This baseline evaluates the Cloud cost model's polynomials at
+a *fixed* parameter vector, reduces the metrics to a single scalar via a
+weight vector, and keeps only the single cheapest plan per table set.
+
+It shares the plan/split enumeration with RRPA, so differences in plan
+counts and results isolate exactly the pruning criterion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import OptimizationError
+from ..plans import Plan, ScanPlan, combine
+from ..query import Query
+from ..core.enumeration import splits, subsets_in_size_order
+
+
+@dataclass
+class ClassicalResult:
+    """Result of a classical (single-plan) optimization.
+
+    Attributes:
+        plan: The cheapest plan found.
+        cost: Its scalar cost.
+        metric_costs: Per-metric cost breakdown at the fixed parameters.
+        plans_created: Plans generated during the DP.
+        optimization_seconds: Wall-clock time.
+    """
+
+    plan: Plan
+    cost: float
+    metric_costs: dict[str, float]
+    plans_created: int
+    optimization_seconds: float
+
+
+class ClassicalOptimizer:
+    """Single-objective, non-parametric DP optimizer (Selinger 1979 style).
+
+    Args:
+        cost_model: Cost model exposing the polynomial interface
+            (``scan_cost_polynomials`` / ``join_cost_polynomials`` /
+            ``scan_operators`` / ``join_operators``).
+        parameter_values: The fixed parameter vector the polynomials are
+            evaluated at.
+        weights: Per-metric weights folding the cost vector into a scalar;
+            defaults to weight 1.0 on the first metric only (pure
+            execution-time optimization).
+    """
+
+    def __init__(self, cost_model, parameter_values,
+                 weights: dict[str, float] | None = None) -> None:
+        self.cost_model = cost_model
+        self.x = np.asarray(parameter_values, dtype=float)
+        if weights is None:
+            weights = {cost_model.metrics[0].name: 1.0}
+        self.weights = dict(weights)
+
+    def _scalar(self, polys) -> tuple[float, dict[str, float]]:
+        metric_costs = {m: poly.evaluate(self.x)
+                        for m, poly in polys.items()}
+        scalar = sum(self.weights.get(m, 0.0) * v
+                     for m, v in metric_costs.items())
+        return scalar, metric_costs
+
+    def optimize(self, query: Query) -> ClassicalResult:
+        """Find the cheapest plan for the fixed parameter values.
+
+        Raises:
+            OptimizationError: If no plan can be built for the query.
+        """
+        started = time.perf_counter()
+        created = 0
+        # best[q] = (scalar cost, metric costs, plan)
+        best: dict[frozenset[str], tuple[float, dict[str, float], Plan]] = {}
+
+        for table in query.tables:
+            key = frozenset((table,))
+            for operator in self.cost_model.scan_operators(table):
+                plan = ScanPlan(table=table, operator=operator)
+                created += 1
+                scalar, metric_costs = self._scalar(
+                    self.cost_model.scan_cost_polynomials(plan))
+                incumbent = best.get(key)
+                if incumbent is None or scalar < incumbent[0]:
+                    best[key] = (scalar, metric_costs, plan)
+
+        for subset in subsets_in_size_order(query):
+            for left_set, right_set in splits(query, subset):
+                left = best.get(left_set)
+                right = best.get(right_set)
+                if left is None or right is None:
+                    continue
+                for operator in self.cost_model.join_operators():
+                    local_scalar, local_metrics = self._scalar(
+                        self.cost_model.join_cost_polynomials(
+                            left_set, right_set, operator))
+                    created += 1
+                    scalar = left[0] + right[0] + local_scalar
+                    incumbent = best.get(subset)
+                    if incumbent is None or scalar < incumbent[0]:
+                        metric_costs = {
+                            m: left[1][m] + right[1][m] + local_metrics[m]
+                            for m in local_metrics}
+                        plan = combine(left[2], right[2], operator)
+                        best[subset] = (scalar, metric_costs, plan)
+
+        key = query.table_set if query.num_tables > 1 else frozenset(
+            (query.tables[0],))
+        if key not in best:
+            raise OptimizationError("classical DP produced no plan")
+        scalar, metric_costs, plan = best[key]
+        return ClassicalResult(
+            plan=plan, cost=scalar, metric_costs=metric_costs,
+            plans_created=created,
+            optimization_seconds=time.perf_counter() - started)

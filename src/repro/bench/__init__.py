@@ -1,0 +1,24 @@
+"""Experimental harness: workloads, sweep runner, Figure 12 reporting."""
+
+from .reporting import ascii_log_chart, figure12_report, format_table
+from .runner import (AggregatedPoint, Measurement, run_point,
+                     run_query_measurement, run_sweep)
+from .workloads import (FULL, QUICK, SweepPoint, SweepProfile,
+                        queries_for_point, sweep_points)
+
+__all__ = [
+    "FULL",
+    "QUICK",
+    "AggregatedPoint",
+    "Measurement",
+    "SweepPoint",
+    "SweepProfile",
+    "ascii_log_chart",
+    "figure12_report",
+    "format_table",
+    "queries_for_point",
+    "run_point",
+    "run_query_measurement",
+    "run_sweep",
+    "sweep_points",
+]

@@ -1,0 +1,73 @@
+"""Reporting helpers: render Figure 12-style tables and series.
+
+The paper plots log-scale curves; a terminal reproduction renders the same
+series as aligned tables plus coarse ASCII log-scale charts so curve
+*shapes* (exponential growth in tables, star above chain, #LPs well above
+#plans) are visible at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .runner import AggregatedPoint
+
+
+def format_table(points: Sequence[AggregatedPoint]) -> str:
+    """Render aggregated sweep points as an aligned text table."""
+    header = (f"{'tables':>6} {'shape':>6} {'params':>6} "
+              f"{'time[s]':>10} {'#plans':>8} {'#LPs':>10} {'runs':>5}")
+    lines = [header, "-" * len(header)]
+    for ap in points:
+        lines.append(
+            f"{ap.point.num_tables:>6} {ap.point.shape:>6} "
+            f"{ap.point.num_params:>6} {ap.median_seconds:>10.3f} "
+            f"{ap.median_plans:>8.0f} {ap.median_lps:>10.0f} "
+            f"{ap.samples:>5}")
+    return "\n".join(lines)
+
+
+def ascii_log_chart(series: dict[str, list[tuple[int, float]]],
+                    title: str, width: int = 50) -> str:
+    """Render ``label -> [(x, y), ...]`` series as a log-scale ASCII chart.
+
+    Each series becomes one row block: x values as columns, bar length
+    proportional to ``log10(y)``.
+    """
+    lines = [title]
+    all_values = [y for pts in series.values() for __, y in pts if y > 0]
+    if not all_values:
+        return title + "\n(no data)"
+    max_log = max(math.log10(max(v, 1e-9)) for v in all_values)
+    min_log = min(math.log10(max(v, 1e-9)) for v in all_values)
+    span = max(max_log - min_log, 1e-9)
+    for label, pts in series.items():
+        lines.append(f"  {label}:")
+        for x, y in pts:
+            frac = (math.log10(max(y, 1e-9)) - min_log) / span
+            bar = "#" * max(1, int(round(frac * width)))
+            lines.append(f"    x={x:>3}  {bar}  {y:.3g}")
+    return "\n".join(lines)
+
+
+def figure12_report(chain: Sequence[AggregatedPoint],
+                    star: Sequence[AggregatedPoint]) -> str:
+    """Full Figure 12 report: both columns, all three panels."""
+    sections = ["=== Figure 12 reproduction (medians per sweep point) ===",
+                "", "--- Chain queries ---", format_table(chain),
+                "", "--- Star queries ---", format_table(star), ""]
+    for metric, attr in (("Optimization time [s]", "median_seconds"),
+                         ("#Created plans", "median_plans"),
+                         ("#Solved linear programs", "median_lps")):
+        for label, pts in (("chain", chain), ("star", star)):
+            series = {}
+            for params in (1, 2):
+                xs = [(ap.point.num_tables, getattr(ap, attr))
+                      for ap in pts if ap.point.num_params == params]
+                if xs:
+                    series[f"{params} param(s)"] = xs
+            sections.append(ascii_log_chart(
+                series, f"{metric} — {label} queries (log scale)"))
+            sections.append("")
+    return "\n".join(sections)

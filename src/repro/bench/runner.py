@@ -1,0 +1,97 @@
+"""Sweep runner for the Figure 12 reproduction.
+
+Runs PWL-RRPA over the workloads of :mod:`repro.bench.workloads`, collects
+the three measurements of Figure 12 per query (optimization time, #created
+plans, #solved LPs), and aggregates medians per sweep point exactly as the
+paper does ("Each data point corresponds to the median of 25 randomly
+generated test cases").
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from ..core import PWLRRPA, PWLRRPAOptions
+from ..cloud import CloudCostModel
+from .workloads import SweepPoint, SweepProfile, queries_for_point, \
+    sweep_points
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Raw measurements for one optimized query.
+
+    Attributes:
+        point: The sweep point the query belongs to.
+        seconds: Optimization wall-clock time.
+        plans_created: Plans generated (incl. pruned ones).
+        lps_solved: Linear programs solved.
+        pareto_plans: Size of the final Pareto plan set.
+    """
+
+    point: SweepPoint
+    seconds: float
+    plans_created: int
+    lps_solved: int
+    pareto_plans: int
+
+
+@dataclass(frozen=True)
+class AggregatedPoint:
+    """Median measurements at one sweep point (one x-value of Figure 12).
+
+    Attributes:
+        point: The sweep point.
+        median_seconds / median_plans / median_lps: Medians over the
+            random queries, as plotted in Figure 12.
+        samples: Number of queries aggregated.
+    """
+
+    point: SweepPoint
+    median_seconds: float
+    median_plans: float
+    median_lps: float
+    samples: int
+
+
+def run_query_measurement(query, point: SweepPoint,
+                          options: PWLRRPAOptions | None = None
+                          ) -> Measurement:
+    """Optimize one query and extract the Figure 12 measurements."""
+    optimizer = PWLRRPA(
+        cost_model_factory=lambda q: CloudCostModel(
+            q, resolution=point.resolution),
+        options=options)
+    result = optimizer.optimize(query)
+    stats = result.stats
+    return Measurement(point=point, seconds=stats.optimization_seconds,
+                       plans_created=stats.plans_created,
+                       lps_solved=stats.lps_solved,
+                       pareto_plans=len(result.entries))
+
+
+def run_point(point: SweepPoint, queries_per_point: int,
+              options: PWLRRPAOptions | None = None,
+              base_seed: int = 0) -> AggregatedPoint:
+    """Run all random queries of one sweep point and aggregate medians."""
+    measurements = [
+        run_query_measurement(query, point, options=options)
+        for query in queries_for_point(point, queries_per_point,
+                                       base_seed=base_seed)]
+    return AggregatedPoint(
+        point=point,
+        median_seconds=statistics.median(m.seconds for m in measurements),
+        median_plans=statistics.median(
+            m.plans_created for m in measurements),
+        median_lps=statistics.median(m.lps_solved for m in measurements),
+        samples=len(measurements))
+
+
+def run_sweep(profile: SweepProfile, shape: str,
+              options: PWLRRPAOptions | None = None,
+              base_seed: int = 0) -> list[AggregatedPoint]:
+    """Run the full sweep of one Figure 12 column (chain or star)."""
+    return [run_point(point, profile.queries_per_point, options=options,
+                      base_seed=base_seed)
+            for point in sweep_points(profile, shape)]

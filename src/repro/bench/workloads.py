@@ -1,0 +1,103 @@
+"""Workload definitions for the experimental evaluation (Section 7).
+
+The paper's Figure 12 sweeps the number of tables (2–12) for chain and
+star queries with 1 and 2 parameters, 25 random queries per point, and
+reports the median of optimization time, #created plans and #solved LPs.
+
+Pure-Python LP solving is orders of magnitude slower than the paper's
+Java + Gurobi setup, so the default sweep is scaled down (documented in
+EXPERIMENTS.md); the shapes of all curves are preserved.  Two profiles are
+provided: ``QUICK`` (used by the pytest-benchmark suite) and ``FULL``
+(closer to the paper's ranges; run it via ``examples/figure12.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..query import Query, QueryGenerator
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One x-axis point of a Figure 12 panel.
+
+    Attributes:
+        num_tables: Number of joined tables.
+        shape: Join graph shape (``"chain"`` or ``"star"``).
+        num_params: Number of selectivity parameters (1 or 2).
+        resolution: PWL grid resolution used by the cost model.
+    """
+
+    num_tables: int
+    shape: str
+    num_params: int
+    resolution: int = 2
+
+
+@dataclass(frozen=True)
+class SweepProfile:
+    """A full sweep configuration.
+
+    Attributes:
+        name: Profile label.
+        table_counts_1p: Table counts swept with one parameter.
+        table_counts_2p: Table counts swept with two parameters.
+        queries_per_point: Random queries (seeds) per sweep point; the
+            paper uses 25, the scaled profiles use fewer.
+        resolution_1p / resolution_2p: PWL grid resolutions.
+    """
+
+    name: str
+    table_counts_1p: tuple[int, ...]
+    table_counts_2p: tuple[int, ...]
+    queries_per_point: int
+    resolution_1p: int = 2
+    resolution_2p: int = 1
+
+
+#: Small profile used by the pytest-benchmark suite (minutes, not hours).
+QUICK = SweepProfile(
+    name="quick",
+    table_counts_1p=(2, 3, 4, 5),
+    table_counts_2p=(2, 3, 4),
+    queries_per_point=3,
+)
+
+#: Larger profile approaching the paper's ranges (tens of minutes).
+FULL = SweepProfile(
+    name="full",
+    table_counts_1p=(2, 3, 4, 5, 6, 7, 8),
+    table_counts_2p=(2, 3, 4, 5, 6),
+    queries_per_point=5,
+)
+
+
+def sweep_points(profile: SweepProfile, shape: str
+                 ) -> list[SweepPoint]:
+    """Expand a profile into the sweep points for one join-graph shape."""
+    points = [SweepPoint(num_tables=n, shape=shape, num_params=1,
+                         resolution=profile.resolution_1p)
+              for n in profile.table_counts_1p]
+    points += [SweepPoint(num_tables=n, shape=shape, num_params=2,
+                          resolution=profile.resolution_2p)
+               for n in profile.table_counts_2p]
+    return points
+
+
+def queries_for_point(point: SweepPoint, count: int,
+                      base_seed: int = 0) -> list[Query]:
+    """Generate the random queries evaluated at one sweep point.
+
+    Seeds are derived deterministically from the point so repeated runs
+    measure identical workloads.
+    """
+    queries = []
+    for i in range(count):
+        seed = hash((point.num_tables, point.shape, point.num_params,
+                     base_seed + i)) & 0x7FFFFFFF
+        generator = QueryGenerator(seed=seed)
+        queries.append(generator.generate(
+            num_tables=point.num_tables, shape=point.shape,
+            num_params=point.num_params))
+    return queries

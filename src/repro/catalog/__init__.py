@@ -1,0 +1,16 @@
+"""Synthetic database catalog: tables, columns, indexes, statistics."""
+
+from .catalog import Catalog
+from .column import Column
+from .index import Index
+from .statistics import base_cardinality_polynomial, join_selectivity
+from .table import Table
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "Index",
+    "Table",
+    "base_cardinality_polynomial",
+    "join_selectivity",
+]

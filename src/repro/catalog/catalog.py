@@ -1,0 +1,78 @@
+"""The catalog: tables plus indexes, with lookup helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import CatalogError
+from .index import Index
+from .table import Table
+
+
+@dataclass
+class Catalog:
+    """A collection of tables and indexes.
+
+    Args:
+        tables: The base tables (names must be unique).
+        indexes: Secondary indexes (must reference existing table columns).
+    """
+
+    tables: dict[str, Table] = field(default_factory=dict)
+    indexes: list[Index] = field(default_factory=list)
+
+    @staticmethod
+    def from_tables(tables: Iterable[Table],
+                    indexes: Iterable[Index] = ()) -> "Catalog":
+        """Build a catalog, validating uniqueness and references."""
+        catalog = Catalog()
+        for table in tables:
+            catalog.add_table(table)
+        for index in indexes:
+            catalog.add_index(index)
+        return catalog
+
+    def add_table(self, table: Table) -> None:
+        """Add a table.
+
+        Raises:
+            CatalogError: If a table of that name already exists.
+        """
+        if table.name in self.tables:
+            raise CatalogError(f"duplicate table {table.name!r}")
+        self.tables[table.name] = table
+
+    def add_index(self, index: Index) -> None:
+        """Add an index.
+
+        Raises:
+            CatalogError: If the referenced table or column is missing.
+        """
+        table = self.table(index.table_name)
+        if not table.has_column(index.column_name):
+            raise CatalogError(
+                f"index references missing column "
+                f"{index.table_name}.{index.column_name}")
+        self.indexes.append(index)
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name.
+
+        Raises:
+            CatalogError: For unknown tables.
+        """
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_index(self, table_name: str, column_name: str) -> bool:
+        """Return whether an index exists on ``table.column``."""
+        return any(ix.table_name == table_name
+                   and ix.column_name == column_name
+                   for ix in self.indexes)
+
+    def table_names(self) -> tuple[str, ...]:
+        """All table names in insertion order."""
+        return tuple(self.tables)

@@ -1,0 +1,45 @@
+"""Cardinality and selectivity estimation over the catalog.
+
+Standard System-R style uniformity assumptions: the selectivity of an
+equality join ``R.a = S.b`` is ``1 / max(distinct(a), distinct(b))``, and
+the cardinality of a join is the product of input cardinalities and the
+join selectivity.  Parameterized predicates contribute their *parameter*
+as a symbolic selectivity factor (see :mod:`repro.cost.multilinear`), which
+is exactly how the paper turns unknown predicate selectivities into
+optimization-time parameters.
+"""
+
+from __future__ import annotations
+
+from ..cost.multilinear import ParamPolynomial
+from .catalog import Catalog
+
+
+def join_selectivity(catalog: Catalog, left_table: str, left_column: str,
+                     right_table: str, right_column: str) -> float:
+    """Equality-join selectivity under the uniformity assumption."""
+    left = catalog.table(left_table).column(left_column)
+    right = catalog.table(right_table).column(right_column)
+    return 1.0 / max(left.distinct_values, right.distinct_values)
+
+
+def base_cardinality_polynomial(catalog: Catalog, table_name: str,
+                                parameter_index: int | None,
+                                num_params: int) -> ParamPolynomial:
+    """Cardinality of one base table after its (optional) parametric filter.
+
+    Args:
+        catalog: The catalog.
+        table_name: Table to look up.
+        parameter_index: Index of the selectivity parameter attached to the
+            table's predicate, or ``None`` when the table is unfiltered.
+        num_params: Total number of parameters in the query.
+
+    Returns:
+        ``|T|`` as a constant polynomial, or ``|T| * x[parameter_index]``.
+    """
+    card = float(catalog.table(table_name).cardinality)
+    poly = ParamPolynomial.constant(num_params, card)
+    if parameter_index is not None:
+        poly = poly * ParamPolynomial.variable(num_params, parameter_index)
+    return poly

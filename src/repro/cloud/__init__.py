@@ -1,0 +1,17 @@
+"""Cloud scenario substrate: cluster model, EC2-style pricing, cost model."""
+
+from .cluster import DEFAULT_CLUSTER, ClusterSpec
+from .costmodel import CloudCostModel
+from .memory import MemoryCloudCostModel
+from .pricing import (DEFAULT_PRICING, EC2_MEDIUM_2014_USD_PER_HOUR,
+                      PricingModel)
+
+__all__ = [
+    "DEFAULT_CLUSTER",
+    "DEFAULT_PRICING",
+    "EC2_MEDIUM_2014_USD_PER_HOUR",
+    "CloudCostModel",
+    "ClusterSpec",
+    "MemoryCloudCostModel",
+    "PricingModel",
+]

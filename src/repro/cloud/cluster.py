@@ -1,0 +1,67 @@
+"""Cluster hardware model for the Cloud scenario.
+
+The paper's experiments simulate cluster nodes whose properties (main
+memory size etc.) "correspond to the ones of the general purpose medium
+instance in EC2".  We model the quantities the cost formulas need: per-node
+processing throughput, network shuffle throughput, and parallel-job startup
+latency.  Absolute values are synthetic but chosen so the trade-offs the
+paper describes materialize inside the unit parameter box:
+
+* the parallel hash join beats the single-node join for large inputs but
+  loses for small ones (startup + shuffle overhead);
+* the index seek beats the full scan for selectivities below ~25%
+  (Figure 7's crossover).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Simulated cluster parameters.
+
+    Attributes:
+        num_nodes: Worker nodes available to parallel operators.
+        process_hours_per_tuple: CPU time to process one tuple through a
+            hash-join or scan pipeline, in hours.
+        scan_hours_per_tuple: Sequential-read time per tuple.
+        seek_hours_per_tuple: Random-access read time per matching tuple
+            (index seeks pay random I/O, hence > scan cost per tuple).
+        seek_startup_hours: B-tree descend / index open latency.
+        shuffle_hours_per_tuple: Network time to re-partition one tuple.
+        shuffle_work_hours_per_tuple: Aggregate node-busy time added per
+            shuffled tuple (serialization + network + deserialization) —
+            this is *work*, so it shows up in fees even though the wall
+            clock only sees ``shuffle_hours_per_tuple / num_nodes``.
+        parallel_startup_hours: Latency to launch a parallel stage.
+        parallel_coordination_work_hours: Fixed extra node-busy time per
+            parallel stage (scheduling, result collection).
+        memory_tuples_per_node: Hash-table capacity per node, used by the
+            optional buffer-size parameter extension.
+    """
+
+    num_nodes: int = 8
+    process_hours_per_tuple: float = 2.0e-6
+    scan_hours_per_tuple: float = 2.0e-6
+    seek_hours_per_tuple: float = 8.0e-6
+    seek_startup_hours: float = 1.0e-4
+    shuffle_hours_per_tuple: float = 3.0e-6
+    shuffle_work_hours_per_tuple: float = 1.5e-6
+    parallel_startup_hours: float = 5.0e-3
+    parallel_coordination_work_hours: float = 1.0e-2
+    memory_tuples_per_node: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise ValueError("a cluster needs at least 2 nodes")
+        for field_name in ("process_hours_per_tuple", "scan_hours_per_tuple",
+                           "seek_hours_per_tuple", "shuffle_hours_per_tuple",
+                           "shuffle_work_hours_per_tuple"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+
+#: Default cluster used across examples, tests and benchmarks.
+DEFAULT_CLUSTER = ClusterSpec()

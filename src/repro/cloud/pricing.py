@@ -1,0 +1,42 @@
+"""Cloud pricing model.
+
+"Monetary cost are calculated according to the pricing system of Amazon
+EC2" (Section 7): nodes are billed per busy hour, so fees are proportional
+to the *total work* summed over all nodes.  Parallelization shrinks wall
+clock but adds shuffle/coordination work — which is exactly why execution
+time and monetary fees are conflicting metrics in Scenario 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: On-demand price of the 2014 EC2 general-purpose medium instance
+#: (m3.medium, US East), in USD per instance hour.
+EC2_MEDIUM_2014_USD_PER_HOUR = 0.070
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Work-proportional pricing.
+
+    Attributes:
+        usd_per_node_hour: Billed price per node busy-hour.  The default of
+            1.0 keeps fee magnitudes readable in examples; pass
+            :data:`EC2_MEDIUM_2014_USD_PER_HOUR` for paper-era absolute
+            prices (only the scale changes, never plan comparisons).
+    """
+
+    usd_per_node_hour: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.usd_per_node_hour <= 0:
+            raise ValueError("price per node hour must be positive")
+
+    def fees_for_work(self, node_hours: float) -> float:
+        """Fees charged for a given amount of total work (node-hours)."""
+        return self.usd_per_node_hour * node_hours
+
+
+#: Default pricing used across examples, tests and benchmarks.
+DEFAULT_PRICING = PricingModel()

@@ -1,0 +1,54 @@
+"""Core MPQ optimizers: generic RRPA, PWL-RRPA, grid backend, selection.
+
+Public API:
+
+* :class:`RRPA` / :func:`optimize_with` — the generic Algorithm 1 over an
+  abstract backend.
+* :class:`PWLRRPA` / :func:`optimize_cloud_query` — the PWL specialization
+  of Section 6, ready-wired to the Cloud cost model.
+* :class:`PWLBackend` / :class:`PWLRRPAOptions` — Algorithms 2+3 with the
+  Section 6.2 refinements switchable.
+* :class:`GridBackend` / :func:`make_grid` — generic-RRPA instantiation
+  for arbitrary cost functions over finite parameter grids.
+* :class:`OptimizationResult`, :class:`PlanEntry`, :class:`OptimizerStats`.
+* :class:`PlanSelector` — run-time plan selection (Figure 2).
+"""
+
+from .backend import RRPABackend
+from .entry import PlanEntry
+from .enumeration import count_considered_splits, splits, subsets_in_size_order
+from .grid import GridBackend, GridCost, GridRegion, make_grid
+from .pwl_backend import PWLBackend, PWLRRPAOptions
+from .pwl_rrpa import PWLRRPA, optimize_cloud_query
+from .rrpa import RRPA, OptimizationResult, optimize_with
+from .selection import PlanSelector, SelectedPlan
+from .serialize import (StoredPlanSet, decode_plan_set, encode_result,
+                        load_plan_set, save_result)
+from .stats import OptimizerStats
+
+__all__ = [
+    "GridBackend",
+    "GridCost",
+    "GridRegion",
+    "OptimizationResult",
+    "OptimizerStats",
+    "PWLBackend",
+    "PWLRRPA",
+    "PWLRRPAOptions",
+    "PlanEntry",
+    "PlanSelector",
+    "RRPA",
+    "RRPABackend",
+    "SelectedPlan",
+    "StoredPlanSet",
+    "count_considered_splits",
+    "decode_plan_set",
+    "encode_result",
+    "load_plan_set",
+    "make_grid",
+    "optimize_cloud_query",
+    "optimize_with",
+    "save_result",
+    "splits",
+    "subsets_in_size_order",
+]

@@ -1,0 +1,62 @@
+"""Backend interface for the generic RRPA.
+
+Algorithm 1 of the paper is deliberately generic: "The implementation of
+elementary RRPA operations such as adding cost functions and intersecting
+RRs depends on the considered class of cost functions" (Section 5).  This
+module captures exactly those elementary operations as an abstract base
+class; :mod:`repro.core.pwl_backend` implements them for PWL cost functions
+(Algorithms 2 and 3) and :mod:`repro.core.grid` for arbitrary cost
+functions over a finite parameter grid.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+from ..plans import JoinOperator, ScanOperator, ScanPlan
+
+
+class RRPABackend(ABC):
+    """Elementary operations RRPA needs, specialized per cost-function class."""
+
+    @abstractmethod
+    def scan_operators(self, table: str) -> Sequence[ScanOperator]:
+        """Access paths available for a base table."""
+
+    @abstractmethod
+    def join_operators(self) -> Sequence[JoinOperator]:
+        """Join operators available for combining two sub-plans."""
+
+    @abstractmethod
+    def scan_cost(self, plan: ScanPlan) -> Any:
+        """Cost object of a scan plan."""
+
+    @abstractmethod
+    def join_local_cost(self, left_tables: frozenset[str],
+                        right_tables: frozenset[str],
+                        operator: JoinOperator) -> Any:
+        """Cost object of the join operator itself (``o.w`` / ``o.b``)."""
+
+    @abstractmethod
+    def accumulate(self, local_cost: Any, sub_costs: Sequence[Any]) -> Any:
+        """``AccumulateCost``: combine operator and sub-plan costs."""
+
+    @abstractmethod
+    def full_region(self) -> Any:
+        """A fresh relevance region covering the whole parameter space."""
+
+    @abstractmethod
+    def dominance(self, cost_a: Any, cost_b: Any) -> Any:
+        """``Dom(a, b)``: region where cost ``a`` dominates cost ``b``."""
+
+    @abstractmethod
+    def reduce_region(self, region: Any, dominated: Any) -> None:
+        """Reduce ``region`` by a dominance region, in place."""
+
+    @abstractmethod
+    def region_is_empty(self, region: Any) -> bool:
+        """Decide whether a relevance region became empty."""
+
+    def on_run_start(self) -> None:
+        """Hook invoked once per optimization run (cache resets etc.)."""

@@ -1,0 +1,66 @@
+"""PWL-RRPA: the paper's algorithm for piecewise-linear MPQ (Section 6).
+
+:class:`PWLRRPA` wires the generic RRPA loop to the PWL backend and a cost
+model, producing Pareto plan sets with relevance mappings for PWL-MPQ
+problem instances.  It is the optimizer evaluated in Section 7 / Figure 12.
+"""
+
+from __future__ import annotations
+
+from ..query import Query
+from .pwl_backend import PWLBackend, PWLRRPAOptions
+from .rrpa import RRPA, OptimizationResult
+from .stats import OptimizerStats
+
+
+class PWLRRPA:
+    """End-to-end PWL-RRPA optimizer.
+
+    Args:
+        cost_model_factory: Callable mapping a query to a PWL cost model
+            (e.g. ``lambda q: CloudCostModel(q, resolution=2)``); pass a
+            ready cost model via :meth:`optimize_with_model` instead if it
+            is already built.
+        options: Backend tunables (emptiness strategy, refinements).
+    """
+
+    def __init__(self, cost_model_factory=None,
+                 options: PWLRRPAOptions | None = None) -> None:
+        self.cost_model_factory = cost_model_factory
+        self.options = options or PWLRRPAOptions()
+
+    def optimize(self, query: Query) -> OptimizationResult:
+        """Optimize a query, building the cost model via the factory."""
+        if self.cost_model_factory is None:
+            raise ValueError("no cost model factory configured")
+        return self.optimize_with_model(query,
+                                        self.cost_model_factory(query))
+
+    def optimize_with_model(self, query: Query,
+                            cost_model) -> OptimizationResult:
+        """Optimize a query with an explicit cost model instance."""
+        stats = OptimizerStats()
+        backend = PWLBackend(cost_model, options=self.options,
+                             lp_stats=stats.lp_stats, stats=stats)
+        result = RRPA(backend).optimize(query)
+        # RRPA created fresh stats internally; fold our emptiness-check
+        # accounting into the run's stats object.
+        result.stats.emptiness_checks += stats.emptiness_checks
+        result.stats.emptiness_checks_skipped += (
+            stats.emptiness_checks_skipped)
+        return result
+
+
+def optimize_cloud_query(query: Query, resolution: int = 2,
+                         options: PWLRRPAOptions | None = None
+                         ) -> OptimizationResult:
+    """Optimize a query under the Cloud cost model (Scenario 1).
+
+    Convenience entry point used by examples and benchmarks.
+    """
+    from ..cloud import CloudCostModel
+    optimizer = PWLRRPA(
+        cost_model_factory=lambda q: CloudCostModel(q,
+                                                    resolution=resolution),
+        options=options)
+    return optimizer.optimize(query)

@@ -1,0 +1,211 @@
+"""The Relevance Region Pruning Algorithm (RRPA), Algorithm 1 of the paper.
+
+RRPA is a dynamic program over table sets: Pareto plan sets for joining a
+table set are built from Pareto plan sets of its subsets.  Pruning is based
+on *relevance regions* (RRs): every plan is associated with the parameter-
+space region for which no known alternative dominates it.  A new plan's RR
+starts as the full parameter space and is reduced by ``Dom(old, new)`` for
+every incumbent plan; if it empties, the plan is discarded (Algorithm 1,
+lines 36–44).  Otherwise the incumbents' RRs are reduced by ``Dom(new,
+old)`` and incumbents with empty RRs are displaced (lines 47–54).
+
+Theorem 3 proves RRPA generates a complete Pareto plan set for arbitrary
+MPQ instances (given the Principle of Optimality per metric); the
+integration test-suite verifies this against brute-force enumeration.
+
+The class is generic over an :class:`repro.core.backend.RRPABackend`; see
+:mod:`repro.core.pwl_backend` (PWL cost functions, the paper's Section 6)
+and :mod:`repro.core.grid` (arbitrary cost functions on a finite grid).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import OptimizationError
+from ..plans import Plan, ScanPlan, combine
+from ..query import Query
+from .backend import RRPABackend
+from .entry import PlanEntry
+from .enumeration import splits, subsets_in_size_order
+from .stats import OptimizerStats
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one RRPA run.
+
+    Attributes:
+        query: The optimized query.
+        entries: Pareto plan set for the full table set, with cost
+            functions and relevance regions.
+        stats: Run statistics (plans created, LPs solved, wall time).
+        dp_table: The full DP table (table set -> surviving entries);
+            useful for analysis and debugging.
+    """
+
+    query: Query
+    entries: list[PlanEntry]
+    stats: OptimizerStats
+    dp_table: dict[frozenset[str], list[PlanEntry]] = field(
+        default_factory=dict)
+
+    @property
+    def pareto_plans(self) -> list[Plan]:
+        """The plans of the final Pareto plan set."""
+        return [e.plan for e in self.entries]
+
+    def plans_for(self, x) -> list[PlanEntry]:
+        """Entries whose relevance region contains parameter vector ``x``.
+
+        The relevance-mapping property guarantees the returned entries
+        contain a dominating plan for every possible plan at ``x``.
+        Falls back to all entries when a backend's region type does not
+        expose point membership.
+        """
+        x = np.asarray(x, dtype=float)
+        selected = []
+        for entry in self.entries:
+            contains = getattr(entry.region, "contains_point", None)
+            if contains is None or contains(x):
+                selected.append(entry)
+        return selected or list(self.entries)
+
+    def frontier_at(self, x, evaluate=None) -> list[tuple[Plan, dict]]:
+        """Non-dominated ``(plan, cost_dict)`` pairs at parameter ``x``.
+
+        Args:
+            x: Parameter vector.
+            evaluate: Optional ``(cost_object, x) -> dict`` override for
+                backends whose cost objects lack an ``evaluate`` method.
+        """
+        costed = []
+        for entry in self.plans_for(x):
+            if evaluate is not None:
+                values = evaluate(entry.cost, x)
+            else:
+                values = entry.cost.evaluate(x)
+            costed.append((entry.plan, values))
+        frontier = []
+        for plan, values in costed:
+            dominated = any(
+                all(other[m] <= values[m] for m in values)
+                and any(other[m] < values[m] for m in values)
+                for __, other in costed if other is not values)
+            if not dominated:
+                frontier.append((plan, values))
+        return frontier
+
+
+class RRPA:
+    """Generic MPQ optimizer (Algorithm 1).
+
+    Args:
+        backend: Implementation of the elementary operations for the
+            desired cost-function class.
+    """
+
+    def __init__(self, backend: RRPABackend) -> None:
+        self.backend = backend
+
+    # ------------------------------------------------------------------
+    # Pruning (Algorithm 1, procedure Prune)
+    # ------------------------------------------------------------------
+
+    def _prune(self, entries: list[PlanEntry], new_plan: Plan,
+               new_cost: Any, stats: OptimizerStats) -> None:
+        """Insert ``new_plan`` into ``entries`` unless it is irrelevant."""
+        backend = self.backend
+        stats.plans_created += 1
+        new_region = backend.full_region()
+        # Reduce the new plan's RR by every incumbent's dominance region.
+        for old in entries:
+            stats.pruning_comparisons += 1
+            dominated = backend.dominance(old.cost, new_cost)
+            backend.reduce_region(new_region, dominated)
+            if backend.region_is_empty(new_region):
+                stats.plans_discarded_new += 1
+                return
+        # The new plan is relevant somewhere: displace dominated incumbents.
+        survivors = []
+        for old in entries:
+            stats.pruning_comparisons += 1
+            dominated = backend.dominance(new_cost, old.cost)
+            backend.reduce_region(old.region, dominated)
+            if backend.region_is_empty(old.region):
+                stats.plans_displaced_old += 1
+            else:
+                survivors.append(old)
+        entries[:] = survivors
+        entries.append(PlanEntry(plan=new_plan, cost=new_cost,
+                                 region=new_region))
+        stats.plans_inserted += 1
+
+    # ------------------------------------------------------------------
+    # Main loop (Algorithm 1, function GenericMPQ)
+    # ------------------------------------------------------------------
+
+    def optimize(self, query: Query) -> OptimizationResult:
+        """Compute a Pareto plan set for ``query``.
+
+        Raises:
+            OptimizationError: If some table set ends up with no plans
+                (indicates an inconsistent cost model or backend).
+        """
+        backend = self.backend
+        backend.on_run_start()
+        stats = OptimizerStats()
+        if hasattr(backend, "lp_stats"):
+            stats.lp_stats = backend.lp_stats
+        started = time.perf_counter()
+
+        dp: dict[frozenset[str], list[PlanEntry]] = {}
+
+        # Base tables: all scan plans, pruned against each other.
+        for table in query.tables:
+            key = frozenset((table,))
+            dp[key] = []
+            for operator in backend.scan_operators(table):
+                plan = ScanPlan(table=table, operator=operator)
+                cost = backend.scan_cost(plan)
+                self._prune(dp[key], plan, cost, stats)
+            if not dp[key]:
+                raise OptimizationError(
+                    f"no scan plans survived for table {table!r}")
+
+        # Table sets of increasing cardinality.
+        for subset in subsets_in_size_order(query):
+            entries: list[PlanEntry] = []
+            dp[subset] = entries
+            for left_set, right_set in splits(query, subset):
+                left_entries = dp.get(left_set)
+                right_entries = dp.get(right_set)
+                if not left_entries or not right_entries:
+                    continue
+                for operator in backend.join_operators():
+                    local = backend.join_local_cost(left_set, right_set,
+                                                    operator)
+                    for left in left_entries:
+                        for right in right_entries:
+                            plan = combine(left.plan, right.plan, operator)
+                            cost = backend.accumulate(
+                                local, (left.cost, right.cost))
+                            self._prune(entries, plan, cost, stats)
+            if not entries:
+                raise OptimizationError(
+                    f"no plans survived for table set {sorted(subset)}")
+
+        stats.optimization_seconds = time.perf_counter() - started
+        final = dp[query.table_set] if query.num_tables > 1 else dp[
+            frozenset((query.tables[0],))]
+        return OptimizationResult(query=query, entries=list(final),
+                                  stats=stats, dp_table=dp)
+
+
+def optimize_with(backend: RRPABackend, query: Query) -> OptimizationResult:
+    """One-shot convenience wrapper around :class:`RRPA`."""
+    return RRPA(backend).optimize(query)

@@ -1,0 +1,124 @@
+"""Run-time plan selection from a precomputed Pareto plan set.
+
+Figure 2 of the paper shows the MPQ workflow: optimization happens at
+preprocessing time; at run time, concrete parameter values and user
+preferences select one plan out of the Pareto plan set — "no query
+optimization is required at run time".  This module implements that
+selection step for the common preference shapes:
+
+* **weighted sum** — minimize ``sum_m weight_m * cost_m`` (the Cloud user
+  moving a time-vs-fees slider);
+* **bounded metric** — minimize one metric subject to upper bounds on
+  others (e.g. "fastest plan under 2 USD", or Scenario 2's "most precise
+  answer within a time budget");
+* **full frontier** — return all Pareto-optimal options at the parameter
+  point for interactive visualization (Scenario 1's trade-off plot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import OptimizationError
+from ..plans import Plan
+from .rrpa import OptimizationResult
+
+
+@dataclass(frozen=True)
+class SelectedPlan:
+    """A run-time plan choice.
+
+    Attributes:
+        plan: The chosen plan.
+        cost: Its cost vector at the concrete parameter values.
+        score: The preference score that made it win (lower is better).
+    """
+
+    plan: Plan
+    cost: dict[str, float]
+    score: float
+
+
+@dataclass
+class PlanSelector:
+    """Selects plans from an :class:`OptimizationResult` at run time.
+
+    Args:
+        result: A completed optimization run.
+    """
+
+    result: OptimizationResult
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def _candidates(self, x) -> list[tuple[Plan, dict[str, float]]]:
+        key = tuple(np.asarray(x, dtype=float).tolist())
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = [(entry.plan, entry.cost.evaluate(x))
+                      for entry in self.result.plans_for(x)]
+            self._cache[key] = cached
+        return cached
+
+    def frontier(self, x) -> list[tuple[Plan, dict[str, float]]]:
+        """All Pareto-optimal ``(plan, cost)`` pairs at parameter ``x``."""
+        return self.result.frontier_at(x)
+
+    def by_weighted_sum(self, x, weights: Mapping[str, float]
+                        ) -> SelectedPlan:
+        """Pick the plan minimizing a weighted sum of metric values.
+
+        Args:
+            x: Concrete parameter values observed at run time.
+            weights: Non-negative weight per metric (missing metrics get
+                weight zero).
+
+        Raises:
+            OptimizationError: If the plan set is empty (cannot happen for
+                results produced by RRPA).
+        """
+        if any(w < 0 for w in weights.values()):
+            raise ValueError("preference weights must be non-negative")
+        best: SelectedPlan | None = None
+        for plan, cost in self._candidates(x):
+            score = sum(weights.get(m, 0.0) * v for m, v in cost.items())
+            if best is None or score < best.score:
+                best = SelectedPlan(plan=plan, cost=cost, score=score)
+        if best is None:
+            raise OptimizationError("empty Pareto plan set")
+        return best
+
+    def by_bounded_metric(self, x, minimize: str,
+                          bounds: Mapping[str, float]) -> SelectedPlan:
+        """Pick the cheapest plan on one metric subject to bounds on others.
+
+        Args:
+            x: Concrete parameter values.
+            minimize: Metric to minimize.
+            bounds: Upper bounds per metric (plans exceeding any bound are
+                excluded).
+
+        Raises:
+            OptimizationError: If no plan satisfies the bounds; callers
+                should relax the bounds (the exception message reports the
+                best achievable value).
+        """
+        best: SelectedPlan | None = None
+        tightest: float = np.inf
+        for plan, cost in self._candidates(x):
+            violated = any(cost.get(m, np.inf) > b + 1e-12
+                           for m, b in bounds.items())
+            for m, b in bounds.items():
+                tightest = min(tightest, cost.get(m, np.inf))
+            if violated:
+                continue
+            score = cost[minimize]
+            if best is None or score < best.score:
+                best = SelectedPlan(plan=plan, cost=cost, score=score)
+        if best is None:
+            raise OptimizationError(
+                f"no plan satisfies bounds {dict(bounds)}; best achievable "
+                f"bound value is {tightest:.4g}")
+        return best

@@ -1,0 +1,215 @@
+"""Persisting Pareto plan sets.
+
+The whole point of MPQ (Figure 2) is that optimization happens *before*
+run time: for embedded SQL (Scenario 2) the plan set must survive between
+the preprocessing step and the application's run time.  This module
+serializes an :class:`OptimizationResult`'s Pareto plan set — plans, PWL
+cost functions and relevance-region cutouts — to a JSON document and
+reloads it into a :class:`StoredPlanSet` that supports the same run-time
+selection operations without re-optimizing (and without the optimizer's
+dependencies: reloading needs no LP solver).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cost import MultiObjectivePWL, PiecewiseLinearFunction
+from ..cost.linear import LinearPiece
+from ..errors import ReproError
+from ..geometry import ConvexPolytope, LinearConstraint
+from ..plans import JoinOperator, JoinPlan, Plan, ScanOperator, ScanPlan
+from .rrpa import OptimizationResult
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(ReproError):
+    """Raised for malformed stored plan sets."""
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+def _encode_plan(plan: Plan) -> dict:
+    if isinstance(plan, ScanPlan):
+        op = plan.operator
+        return {"kind": "scan", "table": plan.table,
+                "operator": {"name": op.name, "uses_index": op.uses_index,
+                             "sampling_rate": op.sampling_rate}}
+    if isinstance(plan, JoinPlan):
+        return {"kind": "join",
+                "operator": {"name": plan.operator.name,
+                             "parallel": plan.operator.parallel},
+                "left": _encode_plan(plan.left),
+                "right": _encode_plan(plan.right)}
+    raise SerializationError(f"cannot encode plan node {plan!r}")
+
+
+def _encode_polytope(poly: ConvexPolytope) -> dict:
+    return {"dim": poly.dim,
+            "constraints": [{"a": c.a.tolist(), "b": c.b}
+                            for c in poly.constraints]}
+
+
+def _encode_pwl(f: PiecewiseLinearFunction) -> dict:
+    return {"dim": f.dim,
+            "pieces": [{"region": _encode_polytope(p.region),
+                        "w": np.asarray(p.w).tolist(), "b": p.b}
+                       for p in f.pieces]}
+
+
+def _encode_region(region) -> dict:
+    return {"space": _encode_polytope(region.space),
+            "cutouts": [_encode_polytope(c) for c in region.cutouts]}
+
+
+def encode_result(result: OptimizationResult) -> dict:
+    """Encode a result's final Pareto plan set as a JSON-ready dict."""
+    entries = []
+    for entry in result.entries:
+        entries.append({
+            "plan": _encode_plan(entry.plan),
+            "cost": {name: _encode_pwl(f)
+                     for name, f in entry.cost.components.items()},
+            "region": _encode_region(entry.region),
+        })
+    return {"version": FORMAT_VERSION,
+            "num_params": max(1, result.query.num_params),
+            "entries": entries}
+
+
+def save_result(result: OptimizationResult, path) -> None:
+    """Write a result's Pareto plan set to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(encode_result(result), handle)
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+def _decode_plan(doc: dict) -> Plan:
+    kind = doc.get("kind")
+    if kind == "scan":
+        op = doc["operator"]
+        return ScanPlan(table=doc["table"],
+                        operator=ScanOperator(
+                            name=op["name"],
+                            uses_index=op.get("uses_index", False),
+                            sampling_rate=op.get("sampling_rate", 1.0)))
+    if kind == "join":
+        op = doc["operator"]
+        return JoinPlan(left=_decode_plan(doc["left"]),
+                        right=_decode_plan(doc["right"]),
+                        operator=JoinOperator(
+                            name=op["name"],
+                            parallel=op.get("parallel", False)))
+    raise SerializationError(f"unknown plan kind {kind!r}")
+
+
+def _decode_polytope(doc: dict) -> ConvexPolytope:
+    constraints = [LinearConstraint.make(c["a"], c["b"])
+                   for c in doc["constraints"]]
+    return ConvexPolytope(doc["dim"], constraints)
+
+
+def _decode_pwl(doc: dict) -> PiecewiseLinearFunction:
+    pieces = [LinearPiece(region=_decode_polytope(p["region"]),
+                          w=np.asarray(p["w"], dtype=float), b=p["b"])
+              for p in doc["pieces"]]
+    return PiecewiseLinearFunction(doc["dim"], pieces)
+
+
+@dataclass
+class StoredEntry:
+    """One reloaded plan with its cost function and relevance cutouts."""
+
+    plan: Plan
+    cost: MultiObjectivePWL
+    space: ConvexPolytope
+    cutouts: list[ConvexPolytope]
+
+    def relevant_at(self, x) -> bool:
+        """Relevance-region membership (space minus cutouts)."""
+        if not self.space.contains_point(x):
+            return False
+        return not any(c.contains_point(x) for c in self.cutouts)
+
+
+class StoredPlanSet:
+    """A reloaded Pareto plan set supporting run-time selection.
+
+    Mirrors the selection operations of
+    :class:`repro.core.selection.PlanSelector` without requiring the
+    original optimizer state.
+    """
+
+    def __init__(self, num_params: int,
+                 entries: list[StoredEntry]) -> None:
+        self.num_params = num_params
+        self.entries = entries
+
+    def plans_for(self, x) -> list[StoredEntry]:
+        """Entries whose relevance region contains ``x``."""
+        relevant = [e for e in self.entries if e.relevant_at(x)]
+        return relevant or list(self.entries)
+
+    def frontier(self, x) -> list[tuple[Plan, dict[str, float]]]:
+        """Non-dominated ``(plan, cost)`` pairs at ``x``."""
+        costed = [(e.plan, e.cost.evaluate(x)) for e in self.plans_for(x)]
+        out = []
+        for plan, cost in costed:
+            dominated = any(
+                all(other[m] <= cost[m] for m in cost)
+                and any(other[m] < cost[m] for m in cost)
+                for __, other in costed if other is not cost)
+            if not dominated:
+                out.append((plan, cost))
+        return out
+
+    def select(self, x, weights) -> tuple[Plan, dict[str, float]]:
+        """Weighted-sum selection at run time."""
+        best = None
+        for entry in self.plans_for(x):
+            cost = entry.cost.evaluate(x)
+            score = sum(weights.get(m, 0.0) * v for m, v in cost.items())
+            if best is None or score < best[0]:
+                best = (score, entry.plan, cost)
+        if best is None:
+            raise SerializationError("stored plan set is empty")
+        return best[1], best[2]
+
+
+def decode_plan_set(doc: dict) -> StoredPlanSet:
+    """Decode a stored plan set document.
+
+    Raises:
+        SerializationError: On version mismatch or malformed content.
+    """
+    if doc.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported plan-set version {doc.get('version')!r}")
+    entries = []
+    for entry_doc in doc.get("entries", []):
+        cost = MultiObjectivePWL({name: _decode_pwl(f)
+                                  for name, f in entry_doc["cost"].items()})
+        region_doc = entry_doc["region"]
+        entries.append(StoredEntry(
+            plan=_decode_plan(entry_doc["plan"]),
+            cost=cost,
+            space=_decode_polytope(region_doc["space"]),
+            cutouts=[_decode_polytope(c)
+                     for c in region_doc["cutouts"]]))
+    return StoredPlanSet(num_params=doc.get("num_params", 1),
+                         entries=entries)
+
+
+def load_plan_set(path) -> StoredPlanSet:
+    """Load a stored plan set from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return decode_plan_set(json.load(handle))

@@ -1,0 +1,45 @@
+"""Cost-function substrate: linear pieces, PWL functions, metrics.
+
+Public API:
+
+* :class:`CostMetric` and the predefined metric sets (:data:`CLOUD_METRICS`
+  for Scenario 1, :data:`APPROX_METRICS` for Scenario 2).
+* :class:`LinearPiece` — one linear cost piece (Figure 9's attributes
+  ``reg``/``w``/``b``).
+* :class:`PiecewiseLinearFunction` — single-objective PWL cost function.
+* :class:`MultiObjectivePWL` — vector-valued PWL cost function with the
+  ``Dom`` dominance-region computation (Algorithm 3).
+* :class:`ParamPolynomial` — exact symbolic cardinality/cost expressions.
+* :class:`SharedPartition` — simplicial grid for PWL approximation with
+  aligned-partition fast paths.
+* :func:`accumulate_cost` — ``AccumulateCost`` of Algorithm 3.
+"""
+
+from .accumulate import accumulate_cost, accumulator_map
+from .approximate import SharedPartition, pwl_approximation_error
+from .linear import LinearPiece
+from .metrics import (APPROX_METRICS, CLOUD_METRICS, FEES, PRECISION_LOSS,
+                      TIME, CostMetric, metric_names)
+from .multilinear import ParamPolynomial, poly_sum
+from .pwl import PiecewiseLinearFunction, pwl_sum
+from .vector import MultiObjectivePWL
+
+__all__ = [
+    "APPROX_METRICS",
+    "CLOUD_METRICS",
+    "FEES",
+    "PRECISION_LOSS",
+    "TIME",
+    "CostMetric",
+    "LinearPiece",
+    "MultiObjectivePWL",
+    "ParamPolynomial",
+    "PiecewiseLinearFunction",
+    "SharedPartition",
+    "accumulate_cost",
+    "accumulator_map",
+    "metric_names",
+    "poly_sum",
+    "pwl_approximation_error",
+    "pwl_sum",
+]

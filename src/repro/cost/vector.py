@@ -1,0 +1,305 @@
+"""Multi-objective PWL cost functions and the ``Dom`` operation.
+
+The ``Multi-Obj. PWL Cost Func.`` entity of Figure 9 composes one
+single-objective PWL function per cost metric.  This module implements it
+together with the second elementary operation of Algorithm 3: ``Dom(p1,
+p2)`` — the set of convex polytopes covering the parameter-space region in
+which one plan dominates another (better-or-equal according to *every*
+metric).
+
+Two execution paths exist, as for addition:
+
+* **Aligned path** — both functions carry the same partition token, so the
+  linear regions coincide piece-by-piece.  Within each shared region the
+  per-metric dominance condition is one halfspace; the dominance region in
+  that cell is the cell intersected with all ``nM`` halfspaces (one
+  polytope per cell).
+* **General path** — the paper's pseudo-code verbatim: per metric, iterate
+  over all piece pairs, intersect their regions and add the halfspace where
+  the first function is no larger; finally build all cross-metric
+  intersections and keep the non-empty ones.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import DimensionMismatchError
+from ..geometry import ConvexPolytope, LinearConstraint
+from ..lp import LinearProgramSolver
+from .linear import LinearPiece
+from .pwl import PiecewiseLinearFunction
+
+
+class MultiObjectivePWL:
+    """A vector-valued PWL cost function ``c : X -> R^{nM}``.
+
+    Args:
+        components: Mapping from metric name to the single-objective PWL
+            function for that metric (the ``comps`` relationship of
+            Figure 9).  All components must share the parameter-space
+            dimensionality.
+    """
+
+    __slots__ = ("components", "dim")
+
+    def __init__(self, components: Mapping[str, PiecewiseLinearFunction]
+                 ) -> None:
+        if not components:
+            raise ValueError("need at least one cost metric")
+        self.components: dict[str, PiecewiseLinearFunction] = dict(components)
+        dims = {f.dim for f in self.components.values()}
+        if len(dims) != 1:
+            raise DimensionMismatchError(
+                f"components live in different dims: {dims}")
+        self.dim = dims.pop()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def constant(space: ConvexPolytope,
+                 values: Mapping[str, float]) -> "MultiObjectivePWL":
+        """Constant cost vector on ``space``."""
+        return MultiObjectivePWL({
+            name: PiecewiseLinearFunction.constant(space, value)
+            for name, value in values.items()})
+
+    @staticmethod
+    def affine(space: ConvexPolytope,
+               weights: Mapping[str, Sequence[float]],
+               bases: Mapping[str, float]) -> "MultiObjectivePWL":
+        """Affine cost vector ``w_m @ x + b_m`` per metric on ``space``."""
+        if set(weights) != set(bases):
+            raise ValueError("weights and bases must cover the same metrics")
+        return MultiObjectivePWL({
+            name: PiecewiseLinearFunction.affine(space, weights[name],
+                                                 bases[name])
+            for name in weights})
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def metric_names(self) -> tuple[str, ...]:
+        """Metric names in deterministic (sorted) order."""
+        return tuple(sorted(self.components))
+
+    def component(self, metric: str) -> PiecewiseLinearFunction:
+        """Return the single-objective function for ``metric``."""
+        return self.components[metric]
+
+    def evaluate(self, x) -> dict[str, float]:
+        """Evaluate all metrics at ``x``."""
+        return {name: f.evaluate(x) for name, f in self.components.items()}
+
+    def evaluate_vector(self, x) -> np.ndarray:
+        """Evaluate as an array ordered by :attr:`metric_names`."""
+        return np.array([self.components[m].evaluate(x)
+                         for m in self.metric_names])
+
+    def total_pieces(self) -> int:
+        """Total number of linear pieces across all components."""
+        return sum(f.num_pieces for f in self.components.values())
+
+    def same_partition(self, other: "MultiObjectivePWL") -> bool:
+        """``True`` when every pair of matching components is aligned."""
+        if set(self.components) != set(other.components):
+            return False
+        for name, mine in self.components.items():
+            theirs = other.components[name]
+            if (mine.partition_token is None
+                    or mine.partition_token != theirs.partition_token
+                    or len(mine.pieces) != len(theirs.pieces)):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def add(self, other: "MultiObjectivePWL",
+            solver: LinearProgramSolver | None = None,
+            accumulators: Mapping[str, str] | None = None
+            ) -> "MultiObjectivePWL":
+        """Combine with another cost function metric by metric.
+
+        Args:
+            other: Cost function with the same metric set.
+            solver: Needed for unaligned partitions or max-accumulation.
+            accumulators: Per-metric ``"sum"`` or ``"max"``; defaults to
+                sum for every metric.
+        """
+        if set(self.components) != set(other.components):
+            raise ValueError("metric sets differ")
+        result = {}
+        for name, mine in self.components.items():
+            how = (accumulators or {}).get(name, "sum")
+            if how == "sum":
+                result[name] = mine.add(other.components[name], solver)
+            elif how == "max":
+                if solver is None:
+                    raise ValueError("solver required for max accumulation")
+                result[name] = mine.maximum(other.components[name], solver)
+            else:
+                raise ValueError(f"unknown accumulator {how!r}")
+        return MultiObjectivePWL(result)
+
+    # ------------------------------------------------------------------
+    # Dominance (Algorithm 3, function Dom)
+    # ------------------------------------------------------------------
+
+    def dominance_polytopes(self, other: "MultiObjectivePWL",
+                            solver: LinearProgramSolver,
+                            relax: float = 0.0) -> list[ConvexPolytope]:
+        """Return convex polytopes covering ``Dom(self, other)``.
+
+        ``Dom(p1, p2)`` is the parameter-space region where ``p1`` has
+        better-or-equal cost than ``p2`` according to *every* metric
+        (Section 2).  Theorem 2 guarantees the region is a convex polytope
+        within each linear region; the returned list is the union over the
+        linear-region partition.
+
+        Args:
+            other: The plan cost function to compare against.
+            solver: LP solver (each emptiness filter counts one LP, as in
+                the paper's implementation).
+            relax: Approximation factor ``alpha >= 0``: computes the
+                *alpha-dominance* region where
+                ``c(self) <= (1 + alpha) * c(other)`` per metric.  With
+                ``alpha > 0`` pruning becomes more aggressive and the
+                plan set shrinks at the price of a bounded cost regret —
+                the approximation-scheme idea of the paper's companion
+                work (citation [31], Trummer & Koch SIGMOD 2014).
+                Requires non-negative cost functions (true for all cost
+                metrics in this library).
+        """
+        if set(self.components) != set(other.components):
+            raise ValueError("metric sets differ")
+        if relax < 0:
+            raise ValueError("approximation factor must be >= 0")
+        if self.same_partition(other):
+            return self._dominance_aligned(other, solver, relax=relax)
+        return self._dominance_general(other, solver, relax=relax)
+
+    def _dominance_aligned(self, other: "MultiObjectivePWL",
+                           solver: LinearProgramSolver,
+                           relax: float = 0.0) -> list[ConvexPolytope]:
+        """Aligned fast path: one candidate polytope per shared region.
+
+        When a region carries a vertex hint (simplicial grid cells do),
+        dominance is first decided at the vertices: a linear inequality
+        that holds at every vertex holds on the whole cell, and one that
+        fails at every vertex fails on the whole cell.  Only genuinely
+        mixed cells fall back to an emptiness LP.
+        """
+        names = self.metric_names
+        factor = 1.0 + relax
+        first = self.components[names[0]]
+        polys: list[ConvexPolytope] = []
+        for idx in range(len(first.pieces)):
+            region = first.pieces[idx].region
+            verts = region.vertex_hint
+            candidate = region
+            feasible = True
+            whole_cell = True
+            for name in names:
+                p1: LinearPiece = self.components[name].pieces[idx]
+                p2: LinearPiece = other.components[name].pieces[idx]
+                diff_w = np.asarray(p1.w) - factor * np.asarray(p2.w)
+                diff_b = factor * p2.b - p1.b
+                constraint = LinearConstraint.make(diff_w, diff_b)
+                if constraint.is_infeasible_trivial():
+                    feasible = False
+                    break
+                if constraint.is_trivial():
+                    continue
+                if verts is not None:
+                    slack = verts @ constraint.a - constraint.b
+                    if np.all(slack > 1e-10):
+                        # Violated at every vertex => empty on the cell.
+                        feasible = False
+                        break
+                    if np.all(slack <= 1e-10):
+                        # Satisfied at every vertex => holds everywhere.
+                        continue
+                whole_cell = False
+                candidate = candidate.with_constraint(constraint)
+            if not feasible:
+                continue
+            if whole_cell:
+                polys.append(region)
+            elif verts is not None and candidate.contains_point(
+                    verts.mean(axis=0)):
+                # The cell centroid satisfies all constraints: non-empty
+                # without an LP.
+                polys.append(candidate)
+            elif not candidate.is_empty(solver):
+                polys.append(candidate)
+        return polys
+
+    def _dominance_general(self, other: "MultiObjectivePWL",
+                           solver: LinearProgramSolver,
+                           relax: float = 0.0) -> list[ConvexPolytope]:
+        """The paper's general ``Dom``: per-metric polytopes, then products."""
+        factor = 1.0 + relax
+        per_metric: list[list[ConvexPolytope]] = []
+        for name in self.metric_names:
+            f1 = self.components[name]
+            f2 = other.components[name]
+            polys_m: list[ConvexPolytope] = []
+            for p1 in f1.pieces:
+                for p2 in f2.pieces:
+                    region = p1.region.intersect(p2.region)
+                    if region.is_empty(solver):
+                        continue
+                    diff_w = np.asarray(p1.w) - factor * np.asarray(p2.w)
+                    diff_b = factor * p2.b - p1.b
+                    constraint = LinearConstraint.make(diff_w, diff_b)
+                    if constraint.is_infeasible_trivial():
+                        continue
+                    dom = (region if constraint.is_trivial()
+                           else region.with_constraint(constraint))
+                    if not dom.is_empty(solver):
+                        polys_m.append(dom)
+            if not polys_m:
+                return []  # dominated nowhere according to this metric
+            per_metric.append(polys_m)
+        # Combine results from different metrics (cross intersections).
+        combined = per_metric[0]
+        for polys_m in per_metric[1:]:
+            next_combined = []
+            for left in combined:
+                for right in polys_m:
+                    candidate = left.intersect(right)
+                    if not candidate.is_empty(solver):
+                        next_combined.append(candidate)
+            combined = next_combined
+            if not combined:
+                return []
+        return combined
+
+    def dominates_at(self, other: "MultiObjectivePWL", x,
+                     tol: float = 1e-9) -> bool:
+        """Pointwise dominance test at parameter vector ``x``."""
+        mine = self.evaluate(x)
+        theirs = other.evaluate(x)
+        return all(mine[m] <= theirs[m] + tol for m in self.components)
+
+    def strictly_dominates_at(self, other: "MultiObjectivePWL", x,
+                              tol: float = 1e-9) -> bool:
+        """Pointwise strict dominance (dominates and differs) at ``x``."""
+        mine = self.evaluate(x)
+        theirs = other.evaluate(x)
+        if not all(mine[m] <= theirs[m] + tol for m in self.components):
+            return False
+        return any(mine[m] < theirs[m] - tol for m in self.components)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{name}:{f.num_pieces}p"
+                          for name, f in sorted(self.components.items()))
+        return f"MultiObjectivePWL({parts})"

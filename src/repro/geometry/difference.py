@@ -1,0 +1,115 @@
+"""Set difference of convex polytopes.
+
+The difference ``P \\ Q`` of two convex polytopes is generally non-convex,
+but it decomposes into at most ``len(Q.constraints)`` convex pieces: for the
+``i``-th constraint ``a_i @ x <= b_i`` of ``Q``, one piece keeps the points
+of ``P`` that violate constraint ``i`` while satisfying constraints
+``0..i-1``.  This sequential-complement decomposition is the standard
+region-difference construction used in parametric programming and is the
+workhorse behind relevance-region emptiness checks (Algorithm 2 of the
+paper): a relevance region is empty exactly when subtracting all cutouts
+from the parameter space leaves nothing (up to measure zero).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..lp import LinearProgramSolver
+from .polytope import INTERIOR_EPS, ConvexPolytope
+
+
+def subtract_polytope(base: ConvexPolytope, cut: ConvexPolytope,
+                      solver: LinearProgramSolver,
+                      interior_eps: float = INTERIOR_EPS
+                      ) -> list[ConvexPolytope]:
+    """Return full-dimensional convex pieces covering ``base \\ cut``.
+
+    The pieces returned use *closed* complements of the cut constraints, so
+    they may overlap ``cut`` on measure-zero boundary sets; pieces whose
+    Chebyshev radius is below ``interior_eps`` are dropped.  Consequently
+    the result is exact up to lower-dimensional sets, which is the
+    tolerance contract documented in DESIGN.md.
+
+    Args:
+        base: The polytope to subtract from.
+        cut: The polytope to remove.
+        solver: LP solver used for emptiness/interior checks.
+        interior_eps: Minimum Chebyshev radius for a piece to be kept.
+
+    Returns:
+        A list of disjoint-interior convex polytopes whose union equals
+        ``base \\ cut`` up to measure zero.  Empty list when ``cut``
+        covers ``base``.
+    """
+    if cut.dim != base.dim:
+        raise ValueError("dimension mismatch in polytope subtraction")
+    if base.is_empty(solver):
+        return []
+    if not cut.constraints:
+        # Subtracting the universe leaves nothing.
+        return []
+    # Fast path: a cut that misses the base entirely (no interior overlap)
+    # leaves the base unchanged — avoids fragmenting the base into pieces
+    # that would immediately be reassembled.
+    if not base.intersect(cut).has_interior(solver, eps=interior_eps):
+        return [base]
+    pieces: list[ConvexPolytope] = []
+    prefix = base
+    for constraint in cut.constraints:
+        piece = prefix.with_constraint(constraint.negation())
+        if piece.has_interior(solver, eps=interior_eps):
+            pieces.append(piece)
+        prefix = prefix.with_constraint(constraint)
+        if prefix.is_empty(solver):
+            break
+    return pieces
+
+
+def subtract_polytopes(base: ConvexPolytope,
+                       cuts: Iterable[ConvexPolytope],
+                       solver: LinearProgramSolver,
+                       interior_eps: float = INTERIOR_EPS,
+                       stop_when_empty: bool = True
+                       ) -> list[ConvexPolytope]:
+    """Subtract a sequence of polytopes from ``base``.
+
+    Maintains a worklist of convex pieces and subtracts each cut from every
+    piece in turn.
+
+    Args:
+        base: Polytope to subtract from.
+        cuts: Polytopes to remove, applied in order.
+        solver: LP solver for the geometric predicates.
+        interior_eps: Minimum Chebyshev radius for pieces to survive.
+        stop_when_empty: Return early as soon as no pieces remain.
+
+    Returns:
+        Convex pieces covering ``base`` minus the union of ``cuts`` (up to
+        measure zero).
+    """
+    pieces = [base] if not base.is_empty(solver) else []
+    for cut in cuts:
+        if not pieces and stop_when_empty:
+            return []
+        next_pieces: list[ConvexPolytope] = []
+        for piece in pieces:
+            next_pieces.extend(
+                subtract_polytope(piece, cut, solver,
+                                  interior_eps=interior_eps))
+        pieces = next_pieces
+    return pieces
+
+
+def union_covers(base: ConvexPolytope,
+                 cover: Iterable[ConvexPolytope],
+                 solver: LinearProgramSolver,
+                 interior_eps: float = INTERIOR_EPS) -> bool:
+    """Return whether the union of ``cover`` contains ``base`` up to measure zero.
+
+    This implements the emptiness test of Algorithm 2 directly: the
+    relevance region (``base`` minus the cutouts) is empty iff the cutouts
+    cover the parameter space.
+    """
+    return not subtract_polytopes(base, cover, solver,
+                                  interior_eps=interior_eps)

@@ -1,0 +1,356 @@
+"""Convex polytopes in H-representation.
+
+A :class:`ConvexPolytope` is the intersection of finitely many closed
+halfspaces (Figure 3 in the paper).  This is the representation PWL-RRPA
+uses for linear regions of cost functions, dominance regions and relevance
+region cutouts.  All non-trivial predicates (emptiness, containment,
+redundancy) are decided by linear programs routed through a
+:class:`repro.lp.LinearProgramSolver`, so they are counted in the LP
+statistics — reproducing the paper's "#solved linear programs" metric.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import DimensionMismatchError, EmptyRegionError
+from ..lp import LinearProgramSolver
+from .constraints import GEOMETRY_EPS, LinearConstraint, constraints_to_arrays
+
+#: Chebyshev radius below which a polytope is treated as lower-dimensional
+#: (i.e. "empty up to measure zero") by interior-emptiness checks.
+INTERIOR_EPS = 1e-7
+
+
+def _dedupe(constraints: Iterable[LinearConstraint]) -> list[LinearConstraint]:
+    """Drop exact duplicates and trivially-satisfied constraints."""
+    seen: set[tuple] = set()
+    out: list[LinearConstraint] = []
+    for c in constraints:
+        if c.is_trivial():
+            continue
+        key = c.key()
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(c)
+    return out
+
+
+class ConvexPolytope:
+    """A convex polytope ``{x in R^dim : A @ x <= b}``.
+
+    Instances are immutable; all operations return new polytopes.
+
+    Args:
+        dim: Dimensionality of the ambient (parameter) space.
+        constraints: Iterable of :class:`LinearConstraint` of dimension
+            ``dim``.  Duplicates and trivial constraints are dropped.
+    """
+
+    __slots__ = ("dim", "constraints", "_a", "_b", "_empty_cache",
+                 "_cheb_cache", "vertex_hint", "cell_tag")
+
+    def __init__(self, dim: int,
+                 constraints: Iterable[LinearConstraint] = ()) -> None:
+        #: Optional exact vertex list attached by constructors that know
+        #: the polytope's V-representation (e.g. simplicial grid cells).
+        #: Purely an acceleration hint — never required for correctness.
+        self.vertex_hint: np.ndarray | None = None
+        #: Optional hashable tag identifying the partition cell this
+        #: polytope is a subset of.  Two polytopes with different non-None
+        #: tags have disjoint interiors; used to skip subtraction work.
+        self.cell_tag = None
+        self.dim = int(dim)
+        cons = _dedupe(constraints)
+        for c in cons:
+            if c.dim != self.dim and not c.is_infeasible_trivial():
+                raise DimensionMismatchError(
+                    f"constraint dim {c.dim} != polytope dim {self.dim}")
+        self.constraints: tuple[LinearConstraint, ...] = tuple(cons)
+        self._a, self._b = constraints_to_arrays(self.constraints)
+        if self._a.shape[1] == 0 and self.constraints:
+            # All constraints were trivial-infeasible zero rows.
+            self._a = np.zeros((len(self.constraints), self.dim))
+        self._empty_cache: bool | None = None
+        self._cheb_cache: tuple[np.ndarray | None, float] | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def universe(dim: int) -> "ConvexPolytope":
+        """The whole space ``R^dim`` (no constraints)."""
+        return ConvexPolytope(dim, ())
+
+    @staticmethod
+    def from_arrays(a, b) -> "ConvexPolytope":
+        """Build a polytope from stacked arrays ``A @ x <= b``."""
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float).reshape(-1)
+        if a.ndim != 2 or a.shape[0] != b.shape[0]:
+            raise DimensionMismatchError("A and b shapes are inconsistent")
+        cons = [LinearConstraint.make(a[i], b[i]) for i in range(a.shape[0])]
+        return ConvexPolytope(a.shape[1], cons)
+
+    @staticmethod
+    def box(lows: Sequence[float], highs: Sequence[float]) -> "ConvexPolytope":
+        """Axis-aligned box ``lows <= x <= highs``.
+
+        Raises:
+            ValueError: If the bounds have different lengths or a low bound
+                exceeds its high bound.
+        """
+        lows = list(lows)
+        highs = list(highs)
+        if len(lows) != len(highs):
+            raise ValueError("lows and highs must have equal length")
+        dim = len(lows)
+        cons = []
+        for i, (lo, hi) in enumerate(zip(lows, highs)):
+            if lo > hi:
+                raise ValueError(f"box bound {i}: low {lo} > high {hi}")
+            e = np.zeros(dim)
+            e[i] = 1.0
+            cons.append(LinearConstraint.make(e, hi))
+            cons.append(LinearConstraint.make(-e, -lo))
+        return ConvexPolytope(dim, cons)
+
+    @staticmethod
+    def unit_box(dim: int) -> "ConvexPolytope":
+        """The unit hypercube ``[0, 1]^dim`` — the default parameter space."""
+        return ConvexPolytope.box([0.0] * dim, [1.0] * dim)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of stored (de-duplicated) constraints."""
+        return len(self.constraints)
+
+    def contains_point(self, x, tol: float = GEOMETRY_EPS) -> bool:
+        """Return whether point ``x`` lies in the polytope (within ``tol``)."""
+        x = np.asarray(x, dtype=float).reshape(-1)
+        if x.shape[0] != self.dim:
+            raise DimensionMismatchError(
+                f"point dim {x.shape[0]} != polytope dim {self.dim}")
+        if not self.constraints:
+            return True
+        return bool(np.all(self._a @ x <= self._b + tol))
+
+    def has_trivially_infeasible(self) -> bool:
+        """``True`` if any stored constraint is syntactically infeasible."""
+        return any(c.is_infeasible_trivial() for c in self.constraints)
+
+    def is_empty(self, solver: LinearProgramSolver,
+                 tol: float = GEOMETRY_EPS) -> bool:
+        """Decide emptiness via a feasibility LP (result cached)."""
+        if self._empty_cache is not None:
+            return self._empty_cache
+        if self.has_trivially_infeasible():
+            self._empty_cache = True
+            return True
+        if not self.constraints:
+            self._empty_cache = False
+            return False
+        result = solver.solve(np.zeros(self.dim), self._a, self._b,
+                              purpose="emptiness")
+        self._empty_cache = result.is_infeasible
+        return self._empty_cache
+
+    def chebyshev(self, solver: LinearProgramSolver
+                  ) -> tuple[np.ndarray | None, float]:
+        """Return ``(center, radius)`` of the largest inscribed ball.
+
+        The radius is the standard measure of "how full-dimensional" the
+        polytope is: radius ``<= 0`` (within tolerance) means the polytope
+        is empty or contained in a hyperplane.  For an unbounded polytope
+        the radius is ``inf`` and the center is ``None``.
+        Results are cached per instance.
+        """
+        if self._cheb_cache is not None:
+            return self._cheb_cache
+        if self.has_trivially_infeasible():
+            self._cheb_cache = (None, -np.inf)
+            return self._cheb_cache
+        if not self.constraints:
+            self._cheb_cache = (None, np.inf)
+            return self._cheb_cache
+        # Variables (x, r): maximize r subject to a_i @ x + r <= b_i
+        # (constraint normals are unit vectors, so ||a_i|| = 1).
+        m = self._a.shape[0]
+        a_ext = np.hstack([self._a, np.ones((m, 1))])
+        c = np.zeros(self.dim + 1)
+        c[-1] = -1.0  # maximize r
+        result = solver.solve(c, a_ext, self._b, purpose="chebyshev")
+        if result.is_infeasible:
+            self._cheb_cache = (None, -np.inf)
+        elif result.status == "unbounded":
+            self._cheb_cache = (None, np.inf)
+        else:
+            x = result.x[: self.dim]
+            r = float(result.x[-1])
+            self._cheb_cache = (x, r)
+        return self._cheb_cache
+
+    def has_interior(self, solver: LinearProgramSolver,
+                     eps: float = INTERIOR_EPS) -> bool:
+        """Return whether the polytope is full-dimensional (radius > eps)."""
+        __, radius = self.chebyshev(solver)
+        return radius > eps
+
+    def interior_point(self, solver: LinearProgramSolver) -> np.ndarray:
+        """Return a point in the (relative) interior.
+
+        Raises:
+            EmptyRegionError: If the polytope is empty or lower-dimensional
+                and no Chebyshev center exists.
+        """
+        center, radius = self.chebyshev(solver)
+        if center is None or radius < 0:
+            raise EmptyRegionError("polytope has no interior point")
+        return center
+
+    # ------------------------------------------------------------------
+    # Set operations
+    # ------------------------------------------------------------------
+
+    def intersect(self, other: "ConvexPolytope") -> "ConvexPolytope":
+        """Intersection with another polytope (constraint union)."""
+        if other.dim != self.dim:
+            raise DimensionMismatchError(
+                f"cannot intersect dims {self.dim} and {other.dim}")
+        result = ConvexPolytope(self.dim,
+                                self.constraints + other.constraints)
+        # The intersection is a subset of both operands, so it inherits
+        # either cell tag (prefer ours).
+        result.cell_tag = (self.cell_tag if self.cell_tag is not None
+                           else other.cell_tag)
+        return result
+
+    def with_constraint(self, constraint: LinearConstraint) -> "ConvexPolytope":
+        """Return this polytope with one extra constraint added."""
+        result = ConvexPolytope(self.dim, self.constraints + (constraint,))
+        result.cell_tag = self.cell_tag
+        return result
+
+    def contains_polytope(self, other: "ConvexPolytope",
+                          solver: LinearProgramSolver,
+                          tol: float = 1e-7) -> bool:
+        """Decide ``other ⊆ self`` by maximizing each constraint over ``other``.
+
+        ``other`` is contained in ``self`` iff for every constraint
+        ``a @ x <= b`` of ``self`` the maximum of ``a @ x`` over ``other``
+        does not exceed ``b``.  An empty ``other`` is contained in anything.
+        """
+        if other.dim != self.dim:
+            raise DimensionMismatchError("containment across dimensions")
+        if other.is_empty(solver):
+            return True
+        for c in self.constraints:
+            result = solver.solve(-c.a, other._a, other._b,
+                                  purpose="containment")
+            if result.status == "unbounded":
+                return False
+            if result.is_infeasible:  # pragma: no cover - guarded above
+                return True
+            max_val = -result.objective
+            if max_val > c.b + tol:
+                return False
+        return True
+
+    def remove_redundant(self, solver: LinearProgramSolver,
+                         tol: float = 1e-7) -> "ConvexPolytope":
+        """Drop constraints implied by the remaining ones.
+
+        This is the first refinement of Section 6.2 of the paper
+        ("we simplify the internal representation of convex polytopes ...
+        by deleting redundant linear constraints").  Each constraint is
+        tested with one LP: maximize its left-hand side subject to all
+        *other* kept constraints; if the maximum stays below the right-hand
+        side the constraint is redundant.
+        """
+        kept = list(self.constraints)
+        i = 0
+        while i < len(kept):
+            candidate = kept[i]
+            others = kept[:i] + kept[i + 1:]
+            if not others:
+                break
+            a, b = constraints_to_arrays(others)
+            result = solver.solve(-candidate.a, a, b, purpose="redundancy")
+            if result.is_optimal and -result.objective <= candidate.b + tol:
+                kept.pop(i)
+            else:
+                i += 1
+        return ConvexPolytope(self.dim, kept)
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+
+    def bounding_box(self, solver: LinearProgramSolver
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Return per-axis ``(lows, highs)`` of the polytope.
+
+        Raises:
+            EmptyRegionError: For an empty polytope.
+        """
+        if self.is_empty(solver):
+            raise EmptyRegionError("bounding box of empty polytope")
+        lows = np.empty(self.dim)
+        highs = np.empty(self.dim)
+        for i in range(self.dim):
+            e = np.zeros(self.dim)
+            e[i] = 1.0
+            lo = solver.solve(e, self._a, self._b, purpose="bbox")
+            hi = solver.solve(-e, self._a, self._b, purpose="bbox")
+            lows[i] = -np.inf if lo.status == "unbounded" else lo.objective
+            highs[i] = np.inf if hi.status == "unbounded" else -hi.objective
+        return lows, highs
+
+    def vertices(self, solver: LinearProgramSolver,
+                 tol: float = 1e-7) -> list[np.ndarray]:
+        """Enumerate the vertices of a (bounded, low-dimensional) polytope.
+
+        Every vertex of a polytope in ``R^d`` is the intersection of ``d``
+        linearly independent active constraints; this brute-force
+        enumeration over constraint subsets is exponential in ``d`` and
+        intended for the small parameter-space dimensions (1–3) used in the
+        paper's experiments and in plotting/analysis code.
+
+        Returns:
+            De-duplicated list of vertex coordinate arrays.
+        """
+        if self.dim == 0 or not self.constraints:
+            return []
+        verts: list[np.ndarray] = []
+        for subset in combinations(range(len(self.constraints)), self.dim):
+            a = self._a[list(subset)]
+            b = self._b[list(subset)]
+            if abs(np.linalg.det(a)) < 1e-10:
+                continue
+            x = np.linalg.solve(a, b)
+            if self.contains_point(x, tol=tol):
+                if not any(np.allclose(x, v, atol=1e-6) for v in verts):
+                    verts.append(x)
+        return verts
+
+    def sample_grid_points(self, solver: LinearProgramSolver,
+                           per_axis: int = 4) -> list[np.ndarray]:
+        """Return grid points of the bounding box that lie inside the polytope."""
+        lows, highs = self.bounding_box(solver)
+        axes = [np.linspace(lo, hi, per_axis) for lo, hi in zip(lows, highs)]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        pts = np.stack([m.reshape(-1) for m in mesh], axis=1)
+        return [p for p in pts if self.contains_point(p)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ConvexPolytope(dim={self.dim}, "
+                f"constraints={len(self.constraints)})")

@@ -1,0 +1,26 @@
+"""Linear-programming substrate: solvers and LP accounting.
+
+Public API:
+
+* :class:`LinearProgramSolver` / :func:`make_solver` — LP facade with
+  pluggable backends (scipy HiGHS or the built-in simplex).
+* :class:`LPResult` — solve outcome.
+* :class:`LPStats` / :func:`default_stats` — counters used to reproduce the
+  "#solved linear programs" measurements of Figure 12.
+* :func:`solve_simplex` — the dependency-free simplex used as fallback and
+  as a testing oracle.
+"""
+
+from .counters import LPStats, default_stats
+from .simplex import SimplexResult, solve_simplex
+from .solver import LinearProgramSolver, LPResult, make_solver
+
+__all__ = [
+    "LPResult",
+    "LPStats",
+    "LinearProgramSolver",
+    "SimplexResult",
+    "default_stats",
+    "make_solver",
+    "solve_simplex",
+]

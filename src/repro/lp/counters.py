@@ -1,0 +1,87 @@
+"""Counters for linear-program solving activity.
+
+The third panel of Figure 12 in the paper reports the *number of solved
+linear programs*.  To reproduce that measurement faithfully, every LP that
+is solved anywhere inside the geometry layer is recorded against an
+:class:`LPStats` instance.  Optimizers create one instance per optimization
+run and pass it down; code that does not care uses the module-level default
+obtained via :func:`default_stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LPStats:
+    """Mutable record of LP-solver activity.
+
+    Attributes:
+        solved: Total number of linear programs handed to a solver.
+        infeasible: How many of those were reported infeasible.
+        unbounded: How many were reported unbounded.
+        feasibility_checks: LPs solved purely to test feasibility.
+        optimizations: LPs solved with a non-trivial objective.
+    """
+
+    solved: int = 0
+    infeasible: int = 0
+    unbounded: int = 0
+    feasibility_checks: int = 0
+    optimizations: int = 0
+    _by_purpose: dict[str, int] = field(default_factory=dict)
+
+    def record(self, *, purpose: str = "generic", feasible: bool = True,
+               bounded: bool = True, objective: bool = True) -> None:
+        """Record a solved LP.
+
+        Args:
+            purpose: Free-form tag describing why the LP was solved (e.g.
+                ``"emptiness"``, ``"redundancy"``, ``"containment"``).
+            feasible: Whether the LP was feasible.
+            bounded: Whether the LP was bounded in the objective direction.
+            objective: ``True`` when a real objective was optimized,
+                ``False`` for pure feasibility checks.
+        """
+        self.solved += 1
+        if not feasible:
+            self.infeasible += 1
+        if not bounded:
+            self.unbounded += 1
+        if objective:
+            self.optimizations += 1
+        else:
+            self.feasibility_checks += 1
+        self._by_purpose[purpose] = self._by_purpose.get(purpose, 0) + 1
+
+    def by_purpose(self) -> dict[str, int]:
+        """Return a copy of the per-purpose LP counts."""
+        return dict(self._by_purpose)
+
+    def reset(self) -> None:
+        """Reset all counters to zero."""
+        self.solved = 0
+        self.infeasible = 0
+        self.unbounded = 0
+        self.feasibility_checks = 0
+        self.optimizations = 0
+        self._by_purpose.clear()
+
+    def merge(self, other: "LPStats") -> None:
+        """Add the counts of ``other`` into this instance."""
+        self.solved += other.solved
+        self.infeasible += other.infeasible
+        self.unbounded += other.unbounded
+        self.feasibility_checks += other.feasibility_checks
+        self.optimizations += other.optimizations
+        for key, value in other._by_purpose.items():
+            self._by_purpose[key] = self._by_purpose.get(key, 0) + value
+
+
+_DEFAULT = LPStats()
+
+
+def default_stats() -> LPStats:
+    """Return the process-wide default :class:`LPStats` instance."""
+    return _DEFAULT

@@ -1,0 +1,164 @@
+"""Linear-program solving with pluggable backends and LP accounting.
+
+All geometric predicates in :mod:`repro.geometry` (emptiness, containment,
+redundancy, Chebyshev centers) reduce to linear programs.  They route every
+solve through :class:`LinearProgramSolver` so the number of solved LPs can
+be reported per optimization run — one of the three quantities plotted in
+Figure 12 of the paper.
+
+Two backends are available:
+
+* ``"scipy"`` — :func:`scipy.optimize.linprog` with the HiGHS method
+  (default when scipy is importable).
+* ``"simplex"`` — the pure-Python two-phase simplex from
+  :mod:`repro.lp.simplex`, used as fallback and as testing oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SolverError
+from .counters import LPStats, default_stats
+from .simplex import solve_simplex
+
+try:  # pragma: no cover - exercised implicitly on import
+    from scipy.optimize import linprog as _scipy_linprog
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    _scipy_linprog = None
+    _HAVE_SCIPY = False
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Outcome of one linear program.
+
+    Attributes:
+        status: ``"optimal"``, ``"infeasible"`` or ``"unbounded"``.
+        x: Optimizing point (``None`` unless optimal).
+        objective: Objective value at ``x`` (``None`` unless optimal).
+    """
+
+    status: str
+    x: np.ndarray | None
+    objective: float | None
+
+    @property
+    def is_optimal(self) -> bool:
+        """``True`` when the LP was solved to optimality."""
+        return self.status == "optimal"
+
+    @property
+    def is_infeasible(self) -> bool:
+        """``True`` when the LP was infeasible."""
+        return self.status == "infeasible"
+
+
+class LinearProgramSolver:
+    """Facade over LP backends that records every solve in an :class:`LPStats`.
+
+    Args:
+        stats: Counter object to charge solves against.  Defaults to the
+            process-wide counter from :func:`repro.lp.counters.default_stats`.
+        backend: ``"scipy"``, ``"simplex"`` or ``"auto"`` (scipy when
+            available, simplex otherwise).
+    """
+
+    def __init__(self, stats: LPStats | None = None,
+                 backend: str = "auto") -> None:
+        if backend == "auto":
+            # The LPs arising in PWL-RRPA are tiny (a handful of variables,
+            # dozens of constraints); the dependency-free simplex beats
+            # scipy's per-call overhead by ~6x there.  scipy remains the
+            # fallback for anything the simplex cannot handle.
+            backend = "hybrid" if _HAVE_SCIPY else "simplex"
+        if backend not in ("scipy", "simplex", "hybrid"):
+            raise ValueError(f"unknown LP backend: {backend!r}")
+        if backend in ("scipy", "hybrid") and not _HAVE_SCIPY:
+            raise SolverError("scipy backend requested but scipy is missing")
+        self.backend = backend
+        self.stats = stats if stats is not None else default_stats()
+
+    def solve(self, c, a_ub=None, b_ub=None, bounds=None, *,
+              purpose: str = "generic") -> LPResult:
+        """Solve ``min c@x  s.t.  a_ub@x <= b_ub`` with optional variable bounds.
+
+        Args:
+            c: Objective coefficient vector.
+            a_ub: Inequality constraint matrix (may be ``None`` / empty).
+            b_ub: Inequality right-hand side vector.
+            bounds: Per-variable ``(lo, hi)`` bounds; defaults to free
+                variables, matching the geometry layer's convention (the
+                parameter-space box is expressed as explicit constraints).
+            purpose: Tag recorded in the LP statistics.
+
+        Returns:
+            An :class:`LPResult`.
+
+        Raises:
+            SolverError: If the backend fails in an unexpected way.
+        """
+        c = np.asarray(c, dtype=float)
+        n = c.shape[0]
+        if bounds is None:
+            bounds = [(None, None)] * n
+        has_objective = bool(np.any(c != 0.0))
+
+        if a_ub is not None and len(a_ub) > 0:
+            a_ub = np.asarray(a_ub, dtype=float).reshape(-1, n)
+            b_ub = np.asarray(b_ub, dtype=float).reshape(-1)
+            if a_ub.shape[0] != b_ub.shape[0]:
+                raise SolverError("A_ub and b_ub row counts differ")
+        else:
+            a_ub, b_ub = None, None
+
+        if self.backend == "scipy":
+            result = self._solve_scipy(c, a_ub, b_ub, bounds)
+        elif self.backend == "simplex":
+            result = self._solve_simplex(c, a_ub, b_ub, bounds)
+        else:  # hybrid: fast simplex first, scipy on failure
+            try:
+                result = self._solve_simplex(c, a_ub, b_ub, bounds)
+            except SolverError:
+                result = self._solve_scipy(c, a_ub, b_ub, bounds)
+
+        self.stats.record(purpose=purpose,
+                          feasible=not result.is_infeasible,
+                          bounded=result.status != "unbounded",
+                          objective=has_objective)
+        return result
+
+    def feasible(self, a_ub, b_ub, bounds=None, *,
+                 purpose: str = "feasibility") -> bool:
+        """Return whether ``{x : a_ub@x <= b_ub}`` (within bounds) is non-empty."""
+        n = np.asarray(a_ub, dtype=float).reshape(
+            -1, len(a_ub[0]) if len(a_ub) else 0).shape[1] if len(a_ub) else 0
+        if n == 0:
+            return True
+        result = self.solve(np.zeros(n), a_ub, b_ub, bounds, purpose=purpose)
+        return result.is_optimal
+
+    def _solve_scipy(self, c, a_ub, b_ub, bounds) -> LPResult:
+        res = _scipy_linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds,
+                             method="highs")
+        if res.status == 0:
+            return LPResult("optimal", np.asarray(res.x, dtype=float),
+                            float(res.fun))
+        if res.status == 2:
+            return LPResult("infeasible", None, None)
+        if res.status == 3:
+            return LPResult("unbounded", None, None)
+        raise SolverError(f"scipy linprog failed: {res.message}")
+
+    def _solve_simplex(self, c, a_ub, b_ub, bounds) -> LPResult:
+        res = solve_simplex(c, a_ub, b_ub, bounds)
+        return LPResult(res.status, res.x, res.objective)
+
+
+def make_solver(stats: LPStats | None = None,
+                backend: str = "auto") -> LinearProgramSolver:
+    """Convenience constructor mirroring :class:`LinearProgramSolver`."""
+    return LinearProgramSolver(stats=stats, backend=backend)

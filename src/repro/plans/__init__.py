@@ -1,0 +1,30 @@
+"""Plan model: operators, plan trees, rendering."""
+
+from .operators import (BLOCK_NESTED_LOOP_JOIN, CLOUD_JOIN_OPERATORS,
+                        CLOUD_SCAN_OPERATORS, FULL_SCAN, INDEX_SEEK,
+                        PARALLEL_HASH_JOIN, SAMPLED_SCAN_10, SAMPLED_SCAN_50,
+                        SINGLE_NODE_HASH_JOIN, SORT_MERGE_JOIN, JoinOperator,
+                        ScanOperator)
+from .plan import JoinPlan, Plan, ScanPlan, combine
+from .printer import one_line, render_plan
+
+__all__ = [
+    "BLOCK_NESTED_LOOP_JOIN",
+    "CLOUD_JOIN_OPERATORS",
+    "CLOUD_SCAN_OPERATORS",
+    "FULL_SCAN",
+    "INDEX_SEEK",
+    "PARALLEL_HASH_JOIN",
+    "SAMPLED_SCAN_10",
+    "SAMPLED_SCAN_50",
+    "SINGLE_NODE_HASH_JOIN",
+    "SORT_MERGE_JOIN",
+    "JoinOperator",
+    "JoinPlan",
+    "Plan",
+    "ScanPlan",
+    "ScanOperator",
+    "combine",
+    "one_line",
+    "render_plan",
+]

@@ -1,0 +1,75 @@
+"""Physical operators for scans and joins.
+
+The paper's experimental setup (Section 7) uses:
+
+* a **single-node hash join** and a **parallel hash join** — the parallel
+  variant shuffles input data across cluster nodes, decreasing execution
+  time for large inputs while always increasing total work (and therefore
+  monetary fees);
+* **full table scans** and **index seeks** — the seek wins for selective
+  parametric predicates, the scan for non-selective ones, forcing the
+  optimizer to keep plans for both cases.
+
+Scenario 2 additionally motivates a **sampled scan** that trades result
+precision for execution time.  Operators are declarative records; the cost
+formulas live in the cost models (:mod:`repro.cloud`, :mod:`repro.approx`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScanOperator:
+    """An access-path operator for one base table.
+
+    Attributes:
+        name: Operator identifier.
+        uses_index: ``True`` for index-based access paths.
+        sampling_rate: Fraction of rows read (1.0 = exact; < 1 models the
+            approximate-processing sampled scan of Scenario 2).
+    """
+
+    name: str
+    uses_index: bool = False
+    sampling_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sampling_rate <= 1.0:
+            raise ValueError("sampling rate must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class JoinOperator:
+    """A join operator.
+
+    Attributes:
+        name: Operator identifier.
+        parallel: ``True`` when the operator distributes work over the
+            cluster (shuffles inputs, increases total work).
+    """
+
+    name: str
+    parallel: bool = False
+
+
+#: Scenario 1 scan operators.
+FULL_SCAN = ScanOperator(name="full_scan")
+INDEX_SEEK = ScanOperator(name="index_seek", uses_index=True)
+
+#: Scenario 2 sampled scans (10% / 50% samples).
+SAMPLED_SCAN_10 = ScanOperator(name="sampled_scan_10", sampling_rate=0.1)
+SAMPLED_SCAN_50 = ScanOperator(name="sampled_scan_50", sampling_rate=0.5)
+
+#: Scenario 1 join operators (the two hash joins of Section 7).
+SINGLE_NODE_HASH_JOIN = JoinOperator(name="hash_join")
+PARALLEL_HASH_JOIN = JoinOperator(name="parallel_hash_join", parallel=True)
+
+#: Additional single-node joins available for richer search spaces.
+SORT_MERGE_JOIN = JoinOperator(name="sort_merge_join")
+BLOCK_NESTED_LOOP_JOIN = JoinOperator(name="block_nl_join")
+
+#: Default operator sets matching the paper's experiments.
+CLOUD_SCAN_OPERATORS = (FULL_SCAN, INDEX_SEEK)
+CLOUD_JOIN_OPERATORS = (SINGLE_NODE_HASH_JOIN, PARALLEL_HASH_JOIN)

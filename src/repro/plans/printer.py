@@ -1,0 +1,46 @@
+"""Human-readable rendering of plan trees."""
+
+from __future__ import annotations
+
+from .plan import JoinPlan, Plan, ScanPlan
+
+
+def render_plan(plan: Plan, indent: str = "  ") -> str:
+    """Render a plan as an indented operator tree.
+
+    Args:
+        plan: The plan to render.
+        indent: Indentation unit per tree level.
+
+    Returns:
+        A multi-line string, one operator per line.
+    """
+    lines: list[str] = []
+
+    def visit(node: Plan, depth: int) -> None:
+        pad = indent * depth
+        if isinstance(node, ScanPlan):
+            lines.append(f"{pad}{node.operator.name} [{node.table}]")
+        elif isinstance(node, JoinPlan):
+            lines.append(f"{pad}{node.operator.name} "
+                         f"[{', '.join(sorted(node.tables))}]")
+            visit(node.left, depth + 1)
+            visit(node.right, depth + 1)
+        else:  # pragma: no cover - future node kinds
+            lines.append(f"{pad}{node!r}")
+
+    visit(plan, 0)
+    return "\n".join(lines)
+
+
+def one_line(plan: Plan) -> str:
+    """Render a plan as a compact one-line expression."""
+    if isinstance(plan, ScanPlan):
+        suffix = {"full_scan": "", "index_seek": "*"}.get(
+            plan.operator.name, f"~{plan.operator.name}")
+        return f"{plan.table}{suffix}"
+    if isinstance(plan, JoinPlan):
+        symbol = "||" if plan.operator.parallel else "|><|"
+        return (f"({one_line(plan.left)} {symbol} "
+                f"{one_line(plan.right)})")
+    return repr(plan)  # pragma: no cover - future node kinds

@@ -1,0 +1,16 @@
+"""Query model: predicates, join graphs, queries, random generation."""
+
+from .generator import SHAPES, GeneratorConfig, QueryGenerator
+from .joingraph import JoinGraph
+from .predicates import JoinPredicate, ParametricPredicate
+from .query import Query
+
+__all__ = [
+    "SHAPES",
+    "GeneratorConfig",
+    "JoinGraph",
+    "JoinPredicate",
+    "ParametricPredicate",
+    "Query",
+    "QueryGenerator",
+]

@@ -1,0 +1,82 @@
+"""Predicate model: join predicates and parameterized selection predicates.
+
+Two predicate kinds appear in the paper's setting:
+
+* **Join predicates** — ``R.a = S.b`` with a selectivity known at
+  optimization time (estimated from catalog statistics).
+* **Parametric predicates** — equality predicates on base tables whose
+  selectivity is *unknown* at optimization time and modeled as one
+  parameter each ("one parameter is required for each table with a
+  predicate", Section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """An equality join predicate between two tables.
+
+    Attributes:
+        left_table / left_column: One side of the equality.
+        right_table / right_column: The other side.
+        selectivity: Estimated selectivity at optimization time.
+    """
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+    selectivity: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.selectivity <= 1.0:
+            raise ValueError(
+                f"join selectivity {self.selectivity} outside (0, 1]")
+        if self.left_table == self.right_table:
+            raise ValueError("self-joins are not modeled")
+
+    @property
+    def tables(self) -> frozenset[str]:
+        """The pair of joined tables."""
+        return frozenset((self.left_table, self.right_table))
+
+    def connects(self, left_set: frozenset[str],
+                 right_set: frozenset[str]) -> bool:
+        """Return whether the predicate crosses between two table sets."""
+        return ((self.left_table in left_set
+                 and self.right_table in right_set)
+                or (self.left_table in right_set
+                    and self.right_table in left_set))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{self.left_table}.{self.left_column} = "
+                f"{self.right_table}.{self.right_column} "
+                f"[sel={self.selectivity:.2e}]")
+
+
+@dataclass(frozen=True)
+class ParametricPredicate:
+    """An equality predicate with optimization-time-unknown selectivity.
+
+    Attributes:
+        table: The filtered base table.
+        column: The filtered column (indexed per the paper's setup).
+        parameter_index: Index of the selectivity parameter in the
+            parameter vector ``x``; the predicate's selectivity at run time
+            is ``x[parameter_index]``.
+    """
+
+    table: str
+    column: str
+    parameter_index: int
+
+    def __post_init__(self) -> None:
+        if self.parameter_index < 0:
+            raise ValueError("parameter index must be non-negative")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{self.table}.{self.column} = ? "
+                f"[sel=x{self.parameter_index}]")

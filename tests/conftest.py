@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lp import LinearProgramSolver, LPStats
+
+
+@pytest.fixture
+def lp_stats() -> LPStats:
+    """A fresh LP counter."""
+    return LPStats()
+
+
+@pytest.fixture
+def solver(lp_stats) -> LinearProgramSolver:
+    """A solver charging the fresh counter (default hybrid backend)."""
+    return LinearProgramSolver(stats=lp_stats)
+
+
+@pytest.fixture(params=["scipy", "simplex"])
+def any_backend_solver(request) -> LinearProgramSolver:
+    """A solver parameterized over both LP backends."""
+    return LinearProgramSolver(stats=LPStats(), backend=request.param)

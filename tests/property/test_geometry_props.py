@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) for the geometry substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import (ConvexPolytope, LinearConstraint,
+                            RelevanceRegion, box_simplices,
+                            subtract_polytope, subtract_polytopes)
+from repro.lp import LinearProgramSolver, LPStats
+
+
+def fresh_solver() -> LinearProgramSolver:
+    return LinearProgramSolver(stats=LPStats())
+
+
+coords = st.floats(min_value=0.0, max_value=1.0, allow_nan=False,
+                   allow_infinity=False)
+
+
+@st.composite
+def boxes_1d(draw):
+    a = draw(coords)
+    b = draw(coords)
+    lo, hi = min(a, b), max(a, b)
+    return ConvexPolytope.box([lo], [hi + 1e-3])
+
+
+@st.composite
+def boxes_2d(draw):
+    a1, b1 = sorted((draw(coords), draw(coords)))
+    a2, b2 = sorted((draw(coords), draw(coords)))
+    return ConvexPolytope.box([a1, a2], [b1 + 1e-3, b2 + 1e-3])
+
+
+class TestConstraintProperties:
+    @given(st.lists(st.floats(-10, 10), min_size=2, max_size=2),
+           st.floats(-10, 10))
+    def test_normalization_preserves_halfspace(self, a, b):
+        if all(abs(v) < 1e-9 for v in a):
+            return
+        c = LinearConstraint.make(a, b)
+        rng = np.random.default_rng(0)
+        for x in rng.uniform(-3, 3, size=(20, 2)):
+            raw = float(np.dot(a, x)) <= b + 1e-7 * max(1, abs(b))
+            norm = c.contains(x, tol=1e-7)
+            assert raw == norm or abs(np.dot(a, x) - b) < 1e-5
+
+    @given(st.lists(st.floats(-5, 5), min_size=2, max_size=2),
+           st.floats(-5, 5))
+    def test_negation_covers_space(self, a, b):
+        if all(abs(v) < 1e-9 for v in a):
+            return
+        c = LinearConstraint.make(a, b)
+        n = c.negation()
+        rng = np.random.default_rng(1)
+        for x in rng.uniform(-3, 3, size=(20, 2)):
+            assert c.contains(x) or n.contains(x)
+
+
+class TestSubtractionProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(boxes_1d(), boxes_1d())
+    def test_pieces_disjoint_from_cut_interior(self, base, cut):
+        solver = fresh_solver()
+        pieces = subtract_polytope(base, cut, solver)
+        rng = np.random.default_rng(2)
+        for piece in pieces:
+            assert base.contains_polytope(piece, solver)
+        for x in rng.uniform(0, 1.01, size=(30, 1)):
+            in_base = base.contains_point(x, tol=-1e-9)
+            strictly_in_cut = cut.contains_point(x, tol=-1e-6)
+            in_pieces = any(p.contains_point(x) for p in pieces)
+            if in_base and not cut.contains_point(x, tol=1e-6):
+                assert in_pieces
+            if in_pieces:
+                assert base.contains_point(x, tol=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(boxes_2d(), min_size=1, max_size=3))
+    def test_subtract_all_of_space_empties(self, cuts):
+        solver = fresh_solver()
+        base = ConvexPolytope.unit_box(2)
+        pieces = subtract_polytopes(base, cuts + [base], solver)
+        assert pieces == []
+
+    @settings(max_examples=20, deadline=None)
+    @given(boxes_2d())
+    def test_subtracting_base_from_itself(self, box):
+        solver = fresh_solver()
+        assert subtract_polytope(box, box, solver) == []
+
+
+class TestRelevanceRegionProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(boxes_1d(), min_size=0, max_size=4))
+    def test_membership_matches_definition(self, cuts):
+        solver = fresh_solver()
+        space = ConvexPolytope.unit_box(1)
+        rr = RelevanceRegion(space)
+        for cut in cuts:
+            rr.subtract(cut)
+        rng = np.random.default_rng(3)
+        for x in rng.uniform(0, 1, size=(30, 1)):
+            expected = (space.contains_point(x)
+                        and not any(c.contains_point(x)
+                                    for c in rr.cutouts))
+            assert rr.contains_point(x) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(boxes_1d(), min_size=1, max_size=4))
+    def test_emptiness_iff_no_witness(self, cuts):
+        solver = fresh_solver()
+        rr = RelevanceRegion(ConvexPolytope.unit_box(1))
+        for cut in cuts:
+            rr.subtract(cut)
+        empty = rr.is_empty(solver)
+        witness = rr.witness(solver)
+        assert empty == (witness is None)
+        if witness is not None:
+            assert rr.contains_point(witness)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(boxes_1d(), min_size=1, max_size=4),
+           st.permutations(range(4)))
+    def test_emptiness_order_invariant(self, cuts, order):
+        solver = fresh_solver()
+        ordered = [cuts[i % len(cuts)] for i in order[:len(cuts)]]
+        rr1 = RelevanceRegion(ConvexPolytope.unit_box(1), cutouts=cuts)
+        rr2 = RelevanceRegion(ConvexPolytope.unit_box(1), cutouts=ordered)
+        # Same cutout multiset (up to duplication) -> same emptiness.
+        if {frozenset(c.key() for c in cut.constraints)
+                for cut in cuts} == {
+                frozenset(c.key() for c in cut.constraints)
+                for cut in ordered}:
+            assert rr1.is_empty(solver) == rr2.is_empty(solver)
+
+
+class TestSimplexGridProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=3),
+           st.integers(min_value=1, max_value=2))
+    def test_simplices_cover_box(self, resolution, dim):
+        simplices = box_simplices([0.0] * dim, [1.0] * dim, resolution)
+        rng = np.random.default_rng(4)
+        for x in rng.uniform(0, 1, size=(40, dim)):
+            assert any(s.contains_point(x, tol=1e-9) for s in simplices)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=3))
+    def test_interpolation_exact_for_affine(self, resolution):
+        simplices = box_simplices([0.0, 0.0], [1.0, 1.0], resolution)
+        w_true, b_true = np.array([2.0, -1.0]), 0.5
+        for s in simplices:
+            w, b = s.affine_interpolant(
+                [float(w_true @ v + b_true) for v in s.vertices])
+            assert np.allclose(w, w_true, atol=1e-8)
+            assert abs(b - b_true) < 1e-8

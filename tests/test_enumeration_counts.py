@@ -1,0 +1,73 @@
+"""Enumeration sanity: subset/split counts against closed-form formulas.
+
+Ono & Lohman give closed-form counts of the join pairs a DP optimizer
+considers when avoiding Cartesian products; the paper relies on those
+shapes ("optimizing chain queries is faster than optimizing star queries
+when avoiding Cartesian product joins").  These tests pin our enumerator
+to the known formulas.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import count_considered_splits, splits, subsets_in_size_order
+from repro.query import QueryGenerator
+
+
+def chain(n):
+    return QueryGenerator(seed=1).generate(n, "chain", 1)
+
+
+def star(n):
+    return QueryGenerator(seed=1).generate(n, "star", 1)
+
+
+class TestSubsetCounts:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_chain_connected_subsets(self, n):
+        # Contiguous sub-chains of length >= 2: n*(n-1)/2.
+        assert len(list(subsets_in_size_order(chain(n)))) == \
+            n * (n - 1) // 2
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_star_connected_subsets(self, n):
+        # Hub + any non-empty spoke subset of size >= 1: 2^(n-1) - 1 total
+        # subsets of size >= 2 containing the hub... minus the singleton
+        # hub subset: sum_{k>=1} C(n-1, k) = 2^(n-1) - 1.
+        assert len(list(subsets_in_size_order(star(n)))) == \
+            2 ** (n - 1) - 1 - (n - 1) + (n - 1)
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_star_has_more_subsets_than_chain(self, n):
+        if n <= 3:
+            pytest.skip("identical counts for tiny queries")
+        assert len(list(subsets_in_size_order(star(n)))) > \
+            len(list(subsets_in_size_order(chain(n))))
+
+
+class TestSplitCounts:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7])
+    def test_chain_join_pairs(self, n):
+        """Ono-Lohman: a chain of n tables has (n^3 - n) / 6 unordered
+        connected (csg, cmp) pairs... our unordered splits of contiguous
+        ranges: each range of length L splits at L-1 positions."""
+        expected = sum((length - 1) * (n - length + 1)
+                       for length in range(2, n + 1))
+        assert count_considered_splits(chain(n)) == expected
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_star_join_pairs(self, n):
+        """A star subset {hub}+S only splits into ({hub}+S\\{s}, {s}):
+        the spoke-only side must be a single table to stay connected.
+        Hence C(n-1, k) subsets with k spokes contribute k splits each."""
+        from math import comb
+        total = sum(comb(n - 1, k) * k for k in range(1, n))
+        assert count_considered_splits(star(n)) == total
+
+    def test_all_splits_cover_subset(self):
+        q = star(5)
+        for subset in subsets_in_size_order(q):
+            for left, right in splits(q, subset):
+                assert left | right == subset
+                assert left.isdisjoint(right)

@@ -1,0 +1,64 @@
+"""Smoke tests: every example script must run to completion."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    """Run one example script and return its stdout."""
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=600, check=False)
+    assert proc.returncode == 0, (
+        f"{name} failed:\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Pareto frontier" in out
+    assert "Fastest plan" in out
+
+
+def test_cloud_tradeoffs():
+    out = run_example("cloud_tradeoffs.py")
+    assert "Figure 7" in out
+    assert "RR:" in out
+    assert "fastest plan under" in out
+
+
+def test_embedded_sql():
+    out = run_example("embedded_sql.py")
+    assert "precision" in out
+    assert "Dashboard policy" in out
+
+
+def test_problem_analysis():
+    out = run_example("problem_analysis.py")
+    assert "figure4" in out
+    assert "M3b holds" in out
+
+
+def test_baseline_comparison():
+    out = run_example("baseline_comparison.py")
+    assert "classical" in out.lower()
+    assert "MPQ" in out
+
+
+def test_execute_plans():
+    out = run_example("execute_plans.py")
+    assert "executed" in out
+    assert "identical row counts: True" in out
+
+
+def test_plan_diagrams():
+    out = run_example("plan_diagrams.py")
+    assert "legend" in out
+    assert "(x0 rightwards, x1 upwards)" in out

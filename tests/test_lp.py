@@ -1,0 +1,144 @@
+"""Unit tests for the LP layer: both backends, counters, edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.lp import (LinearProgramSolver, LPStats, default_stats,
+                      make_solver, solve_simplex)
+
+
+class TestSimplexCore:
+    def test_simple_bounded_minimum(self):
+        # min x0 + x1 s.t. x0 >= 1, x1 >= 2 (via -x <= -bound).
+        res = solve_simplex([1.0, 1.0],
+                            a_ub=[[-1, 0], [0, -1]], b_ub=[-1, -2])
+        assert res.is_optimal
+        assert res.objective == pytest.approx(3.0)
+        assert res.x == pytest.approx([1.0, 2.0])
+
+    def test_infeasible(self):
+        # x <= 0 and x >= 1 simultaneously.
+        res = solve_simplex([1.0], a_ub=[[1], [-1]], b_ub=[0, -1])
+        assert res.status == "infeasible"
+
+    def test_unbounded(self):
+        # min -x with x >= 0 only.
+        res = solve_simplex([-1.0], a_ub=[[-1]], b_ub=[0])
+        assert res.status == "unbounded"
+
+    def test_bounds_handled(self):
+        res = solve_simplex([-1.0, -1.0], a_ub=[[1, 1]], b_ub=[10],
+                            bounds=[(0, 4), (0, 3)])
+        assert res.is_optimal
+        assert res.objective == pytest.approx(-7.0)
+
+    def test_negative_lower_bounds(self):
+        res = solve_simplex([1.0], bounds=[(-5, 5)])
+        assert res.is_optimal
+        assert res.x[0] == pytest.approx(-5.0)
+
+    def test_free_variables_via_split(self):
+        # min x s.t. x >= -3 expressed through constraints (x free).
+        res = solve_simplex([1.0], a_ub=[[-1]], b_ub=[3])
+        assert res.is_optimal
+        assert res.x[0] == pytest.approx(-3.0)
+
+    def test_degenerate_constraints(self):
+        # Redundant duplicated rows should not break the pivot rules.
+        res = solve_simplex([1.0, 0.0],
+                            a_ub=[[-1, 0], [-1, 0], [0, 1], [0, 1]],
+                            b_ub=[-1, -1, 5, 5])
+        assert res.is_optimal
+        assert res.x[0] == pytest.approx(1.0)
+
+
+class TestBackendAgreement:
+    """Both backends must agree on random feasible LPs."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_agreement(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = 3, 8
+        a = rng.normal(size=(m, n))
+        # Make the region non-empty and bounded around a known point.
+        x0 = rng.uniform(-1, 1, size=n)
+        b = a @ x0 + rng.uniform(0.1, 2.0, size=m)
+        box = [(-5.0, 5.0)] * n
+        c = rng.normal(size=n)
+        scipy_solver = make_solver(backend="scipy")
+        simplex_solver = make_solver(backend="simplex")
+        r1 = scipy_solver.solve(c, a, b, box)
+        r2 = simplex_solver.solve(c, a, b, box)
+        assert r1.status == r2.status == "optimal"
+        assert r1.objective == pytest.approx(r2.objective, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_infeasible_agreement(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = 2
+        direction = rng.normal(size=n)
+        # direction @ x <= -1 and -direction @ x <= -1 cannot both hold.
+        a = np.vstack([direction, -direction])
+        b = np.array([-1.0, -1.0])
+        for backend in ("scipy", "simplex"):
+            res = make_solver(backend=backend).solve(
+                np.zeros(n), a, b, [(-10, 10)] * n)
+            assert res.is_infeasible
+
+
+class TestLinearProgramSolver:
+    def test_counts_recorded(self):
+        stats = LPStats()
+        s = LinearProgramSolver(stats=stats)
+        s.solve([1.0], [[-1.0]], [0.0], [(None, None)], purpose="unit")
+        assert stats.solved == 1
+        assert stats.by_purpose() == {"unit": 1}
+
+    def test_feasibility_counted_separately(self):
+        stats = LPStats()
+        s = LinearProgramSolver(stats=stats)
+        s.solve(np.zeros(2), [[1.0, 0.0]], [1.0])
+        assert stats.feasibility_checks == 1
+        assert stats.optimizations == 0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            LinearProgramSolver(backend="cplex")
+
+    def test_default_stats_shared(self):
+        s = LinearProgramSolver()
+        assert s.stats is default_stats()
+
+    def test_inconsistent_shapes_raise(self):
+        s = make_solver(backend="scipy")
+        with pytest.raises(SolverError):
+            s.solve([1.0, 1.0], [[1.0, 0.0]], [1.0, 2.0])
+
+    def test_hybrid_backend_solves(self):
+        s = LinearProgramSolver(backend="hybrid")
+        res = s.solve([1.0], [[-1.0]], [-2.0])
+        assert res.is_optimal
+        assert res.x[0] == pytest.approx(2.0)
+
+
+class TestLPStats:
+    def test_merge(self):
+        a, b = LPStats(), LPStats()
+        a.record(purpose="p1")
+        b.record(purpose="p1", feasible=False)
+        b.record(purpose="p2", objective=False)
+        a.merge(b)
+        assert a.solved == 3
+        assert a.infeasible == 1
+        assert a.feasibility_checks == 1
+        assert a.by_purpose() == {"p1": 2, "p2": 1}
+
+    def test_reset(self):
+        s = LPStats()
+        s.record()
+        s.reset()
+        assert s.solved == 0
+        assert s.by_purpose() == {}

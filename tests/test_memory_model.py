@@ -1,0 +1,120 @@
+"""Tests for the buffer-parameter extension (genuinely PWL costs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud import ClusterSpec, MemoryCloudCostModel
+from repro.core import PWLRRPA
+from repro.plans import (PARALLEL_HASH_JOIN, SINGLE_NODE_HASH_JOIN,
+                         ScanPlan, combine)
+from repro.query import QueryGenerator
+
+
+@pytest.fixture(scope="module")
+def query():
+    return QueryGenerator(seed=31).generate(2, "chain", 1)
+
+
+@pytest.fixture(scope="module")
+def model(query):
+    # Tiny per-node memory (the seed-31 tables have ~100-200 rows) so the
+    # spill kink lies strictly inside the unit memory box.
+    cluster = ClusterSpec(memory_tuples_per_node=50)
+    return MemoryCloudCostModel(query, resolution=2, cluster=cluster)
+
+
+def single_join(query, model):
+    scans = [ScanPlan(table=t, operator=model.scan_operators(t)[0])
+             for t in query.tables]
+    return combine(scans[0], scans[1], SINGLE_NODE_HASH_JOIN)
+
+
+class TestSpillBehaviour:
+    def test_time_nonincreasing_in_memory(self, query, model):
+        """More memory can only help (weakly) at fixed selectivity."""
+        left = frozenset((query.tables[0],))
+        right = frozenset((query.tables[1],))
+        times = [model._join_values(left, right, SINGLE_NODE_HASH_JOIN,
+                                    [0.8, m])["time"]
+                 for m in np.linspace(0, 1, 11)]
+        assert all(a >= b - 1e-12 for a, b in zip(times, times[1:]))
+
+    def test_spill_kink_exists(self, query, model):
+        """Below the kink the cost has a memory gradient, above it none."""
+        left = frozenset((query.tables[0],))
+        right = frozenset((query.tables[1],))
+        build = model._cardinality(left, [0.8, 0.0])
+        capacity = model.cluster.memory_tuples_per_node
+        if build <= capacity:
+            pytest.skip("build side fits in minimum memory for this seed")
+        low = model._join_values(left, right, SINGLE_NODE_HASH_JOIN,
+                                 [0.8, 0.0])["time"]
+        mid = model._join_values(left, right, SINGLE_NODE_HASH_JOIN,
+                                 [0.8, 0.5])["time"]
+        assert low > mid  # spilling hurts
+
+    def test_scan_costs_memory_independent(self, query, model):
+        t = query.tables[0]
+        plan = ScanPlan(table=t, operator=model.scan_operators(t)[0])
+        a = model._scan_values(plan, [0.5, 0.0])
+        b = model._scan_values(plan, [0.5, 1.0])
+        assert a == b
+
+    def test_pwl_matches_exact_at_grid_vertices(self, query, model):
+        plan = single_join(query, model)
+        left = frozenset((query.tables[0],))
+        right = frozenset((query.tables[1],))
+        pwl = model.join_local_cost(left, right, SINGLE_NODE_HASH_JOIN)
+        for xs in ([0.0, 0.0], [0.5, 0.5], [1.0, 1.0], [0.5, 1.0]):
+            exact = model._join_values(left, right, SINGLE_NODE_HASH_JOIN,
+                                       xs)
+            approx = pwl.evaluate(xs)
+            assert approx["time"] == pytest.approx(exact["time"], rel=1e-9)
+
+
+class TestOptimizationWithMemoryParameter:
+    @pytest.fixture(scope="class")
+    def result(self, query, model):
+        return PWLRRPA().optimize_with_model(query, model)
+
+    def test_produces_plan_set(self, result):
+        assert result.entries
+        assert result.stats.lps_solved > 0
+
+    def test_every_joint_point_covered(self, result):
+        for sel in (0.1, 0.9):
+            for mem in (0.1, 0.9):
+                assert result.plans_for([sel, mem])
+
+    def test_frontier_varies_with_memory(self, query, model, result):
+        """Exact plan costs must differ across the memory axis (the spill
+        penalty is real), and the kept set must track the better plan."""
+        plan = single_join(query, model)
+        lo = model.plan_cost_values(plan, [0.9, 0.02])["time"]
+        hi = model.plan_cost_values(plan, [0.9, 0.98])["time"]
+        if lo == pytest.approx(hi):
+            pytest.skip("no spill for this seed")
+        assert lo > hi
+
+    def test_completeness_against_bruteforce(self, query, model, result):
+        from tests.helpers import enumerate_all_plans
+        all_plans = enumerate_all_plans(query, model)
+        # Cost of arbitrary plans in the optimizer's (PWL) view:
+        def pwl_cost(plan, x):
+            if isinstance(plan, ScanPlan):
+                return model.scan_cost(plan).evaluate(x)
+            left = pwl_cost(plan.left, x)
+            right = pwl_cost(plan.right, x)
+            local = model.join_local_cost(
+                plan.left.tables, plan.right.tables,
+                plan.operator).evaluate(x)
+            return {m: left[m] + right[m] + local[m] for m in local}
+        for plan in all_plans:
+            for x in ([0.2, 0.3], [0.8, 0.1], [0.6, 0.9]):
+                cost = pwl_cost(plan, x)
+                assert any(
+                    all(e.cost.evaluate(x)[m] <= cost[m] + 1e-9
+                        for m in cost)
+                    for e in result.entries)

@@ -1,0 +1,193 @@
+"""Unit tests for convex polytopes and linear constraints."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, EmptyRegionError
+from repro.geometry import ConvexPolytope, LinearConstraint
+
+
+class TestLinearConstraint:
+    def test_normalization(self):
+        c = LinearConstraint.make([2.0, 0.0], 4.0)
+        assert c.a == pytest.approx([1.0, 0.0])
+        assert c.b == pytest.approx(2.0)
+
+    def test_contains_and_slack(self):
+        c = LinearConstraint.make([1.0], 1.0)
+        assert c.contains([0.5])
+        assert not c.contains([1.5])
+        assert c.slack([0.25]) == pytest.approx(0.75)
+
+    def test_negation_shares_boundary(self):
+        c = LinearConstraint.make([1.0, 1.0], 1.0)
+        n = c.negation()
+        boundary = np.array([0.5, 0.5])
+        assert c.contains(boundary)
+        assert n.contains(boundary)
+        assert not n.contains([0.0, 0.0])
+
+    def test_same_halfspace(self):
+        c1 = LinearConstraint.make([2.0, 0.0], 2.0)
+        c2 = LinearConstraint.make([4.0, 0.0], 4.0)
+        c3 = LinearConstraint.make([1.0, 0.0], 0.9)
+        assert c1.same_halfspace(c2)
+        assert not c1.same_halfspace(c3)
+
+    def test_trivial_detection(self):
+        assert LinearConstraint.make([0.0], 1.0).is_trivial()
+        assert LinearConstraint.make([0.0], -1.0).is_infeasible_trivial()
+
+    def test_dimension_mismatch(self):
+        c = LinearConstraint.make([1.0, 0.0], 1.0)
+        with pytest.raises(DimensionMismatchError):
+            c.contains([1.0])
+
+
+class TestPolytopeBasics:
+    def test_unit_box_contains(self, solver):
+        box = ConvexPolytope.unit_box(2)
+        assert box.contains_point([0.5, 0.5])
+        assert box.contains_point([0.0, 1.0])
+        assert not box.contains_point([1.2, 0.5])
+        assert not box.is_empty(solver)
+
+    def test_box_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            ConvexPolytope.box([1.0], [0.0])
+        with pytest.raises(ValueError):
+            ConvexPolytope.box([0.0, 0.0], [1.0])
+
+    def test_empty_polytope(self, solver):
+        p = ConvexPolytope.from_arrays([[1.0], [-1.0]], [0.0, -1.0])
+        assert p.is_empty(solver)
+
+    def test_emptiness_cached(self, lp_stats, solver):
+        p = ConvexPolytope.unit_box(1)
+        p.is_empty(solver)
+        first = lp_stats.solved
+        p.is_empty(solver)
+        assert lp_stats.solved == first
+
+    def test_universe(self, solver):
+        u = ConvexPolytope.universe(3)
+        assert not u.is_empty(solver)
+        assert u.contains_point([100.0, -5.0, 3.0])
+
+    def test_duplicate_constraints_deduped(self):
+        c = LinearConstraint.make([1.0], 1.0)
+        p = ConvexPolytope(1, [c, c, c])
+        assert p.num_constraints == 1
+
+    def test_dimension_mismatch(self):
+        c = LinearConstraint.make([1.0, 0.0], 1.0)
+        with pytest.raises(DimensionMismatchError):
+            ConvexPolytope(1, [c])
+
+
+class TestChebyshev:
+    def test_unit_square_center(self, solver):
+        center, radius = ConvexPolytope.unit_box(2).chebyshev(solver)
+        assert center == pytest.approx([0.5, 0.5])
+        assert radius == pytest.approx(0.5)
+
+    def test_degenerate_segment_has_no_interior(self, solver):
+        # x0 in [0,1], x1 == 0.3: a line segment in 2-D.
+        p = ConvexPolytope.box([0.0, 0.3], [1.0, 0.3])
+        assert not p.has_interior(solver)
+
+    def test_empty_has_negative_radius(self, solver):
+        p = ConvexPolytope.box([0.0], [1.0]).intersect(
+            ConvexPolytope.box([2.0], [3.0]))
+        __, radius = p.chebyshev(solver)
+        assert radius < 0 or p.is_empty(solver)
+
+    def test_unbounded_radius(self, solver):
+        p = ConvexPolytope.from_arrays([[-1.0, 0.0]], [0.0])  # x0 >= 0
+        __, radius = p.chebyshev(solver)
+        assert radius == np.inf
+
+    def test_interior_point_inside(self, solver):
+        p = ConvexPolytope.box([0.2, 0.4], [0.6, 0.9])
+        x = p.interior_point(solver)
+        assert p.contains_point(x)
+
+    def test_interior_point_of_empty_raises(self, solver):
+        p = ConvexPolytope.from_arrays([[1.0], [-1.0]], [-1.0, -1.0])
+        with pytest.raises(EmptyRegionError):
+            p.interior_point(solver)
+
+
+class TestSetOperations:
+    def test_intersection(self, solver):
+        a = ConvexPolytope.box([0.0, 0.0], [1.0, 1.0])
+        b = ConvexPolytope.box([0.5, 0.5], [2.0, 2.0])
+        inter = a.intersect(b)
+        assert inter.contains_point([0.7, 0.7])
+        assert not inter.contains_point([0.2, 0.2])
+        assert not inter.is_empty(solver)
+
+    def test_intersection_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            ConvexPolytope.unit_box(1).intersect(ConvexPolytope.unit_box(2))
+
+    def test_containment(self, solver):
+        outer = ConvexPolytope.unit_box(2)
+        inner = ConvexPolytope.box([0.2, 0.2], [0.8, 0.8])
+        assert outer.contains_polytope(inner, solver)
+        assert not inner.contains_polytope(outer, solver)
+
+    def test_containment_of_empty(self, solver):
+        empty = ConvexPolytope.from_arrays([[1.0], [-1.0]], [-1.0, -1.0])
+        box = ConvexPolytope.unit_box(1)
+        assert box.contains_polytope(empty, solver)
+
+    def test_remove_redundant(self, solver):
+        box = ConvexPolytope.unit_box(1)
+        loose = box.with_constraint(LinearConstraint.make([1.0], 5.0))
+        assert loose.num_constraints == 3
+        cleaned = loose.remove_redundant(solver)
+        assert cleaned.num_constraints == 2
+        # Semantics preserved.
+        for x in (0.0, 0.5, 1.0):
+            assert cleaned.contains_point([x]) == loose.contains_point([x])
+
+    def test_cell_tag_propagation(self):
+        box = ConvexPolytope.unit_box(2)
+        box.cell_tag = ("cell", 7)
+        child = box.with_constraint(LinearConstraint.make([1.0, 0.0], 0.5))
+        assert child.cell_tag == ("cell", 7)
+        other = ConvexPolytope.unit_box(2)
+        assert box.intersect(other).cell_tag == ("cell", 7)
+        assert other.intersect(box).cell_tag == ("cell", 7)
+
+
+class TestGeometryHelpers:
+    def test_bounding_box(self, solver):
+        p = ConvexPolytope.box([0.25, -1.0], [0.75, 2.0])
+        lows, highs = p.bounding_box(solver)
+        assert lows == pytest.approx([0.25, -1.0])
+        assert highs == pytest.approx([0.75, 2.0])
+
+    def test_bounding_box_empty_raises(self, solver):
+        empty = ConvexPolytope.from_arrays([[1.0], [-1.0]], [-1.0, -1.0])
+        with pytest.raises(EmptyRegionError):
+            empty.bounding_box(solver)
+
+    def test_vertices_of_square(self, solver):
+        p = ConvexPolytope.unit_box(2)
+        verts = sorted(tuple(np.round(v, 6)) for v in p.vertices(solver))
+        assert verts == [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)]
+
+    def test_vertices_of_triangle(self, solver):
+        p = ConvexPolytope.from_arrays(
+            [[-1.0, 0.0], [0.0, -1.0], [1.0, 1.0]], [0.0, 0.0, 1.0])
+        assert len(p.vertices(solver)) == 3
+
+    def test_sample_grid_points(self, solver):
+        p = ConvexPolytope.unit_box(2)
+        pts = p.sample_grid_points(solver, per_axis=3)
+        assert len(pts) == 9
+        assert all(p.contains_point(x) for x in pts)
