@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import SweepPoint, queries_for_point
+from repro.bench import SweepPoint
 from repro.core import PWLRRPAOptions
 
 POINT = SweepPoint(num_tables=4, shape="chain", num_params=1, resolution=2)

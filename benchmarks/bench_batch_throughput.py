@@ -1,0 +1,102 @@
+"""Batch-engine throughput: queries/sec vs. workers vs. query size.
+
+The serving-layer benchmark the paper's Figure 12 harness has no notion
+of: a fixed list of distinct random queries is optimized by the
+:class:`repro.service.BatchOptimizer` at several worker counts, and
+sustained queries/second is reported per point.  On multi-core hardware
+the 4-worker point is expected to clear 2x the single-process baseline
+(PWL-RRPA is CPU-bound pure Python, so worker processes scale with
+physical cores; a single-core container shows no speedup).
+
+Run under pytest-benchmark::
+
+    pytest benchmarks/bench_batch_throughput.py --benchmark-only
+
+or standalone (prints the speedup table, optionally dumps JSON)::
+
+    python benchmarks/bench_batch_throughput.py --queries 8 --workers 1,2,4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+import pytest
+
+from repro.bench import (format_throughput_table, run_batch_throughput)
+
+#: Tiny sweep used by the pytest entry points (CI smoke friendly).
+SMOKE_QUERIES = 4
+SMOKE_TABLES = 3
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_batch_throughput_chain(benchmark, workers):
+    def run():
+        return run_batch_throughput(
+            num_tables=SMOKE_TABLES, shape="chain",
+            num_queries=SMOKE_QUERIES, workers_list=(workers,))
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    (point,) = points
+    assert point.failures == 0
+    benchmark.extra_info.update(point.as_dict())
+
+
+def test_batch_beats_or_matches_reoptimization(benchmark):
+    """Warm-start sanity: a fully warm batch is near-instant."""
+    from repro.query import QueryGenerator
+    from repro.service import BatchOptimizer, BatchOptions
+
+    queries = [QueryGenerator(seed=s).generate(SMOKE_TABLES, "chain", 1)
+               for s in range(SMOKE_QUERIES)]
+    optimizer = BatchOptimizer(BatchOptions(workers=0))
+    optimizer.optimize_batch(queries)  # populate the warm-start cache
+
+    def warm():
+        return optimizer.optimize_batch(queries)
+
+    items = benchmark.pedantic(warm, rounds=1, iterations=1)
+    assert all(item.status == "cached" for item in items)
+
+
+def _workers_list(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(w) for w in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated worker counts, got {text!r}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tables", type=int, nargs="+", default=[3, 4],
+                        help="query sizes (tables per query) to sweep")
+    parser.add_argument("--shape", default="chain",
+                        choices=("chain", "star", "cycle", "clique"))
+    parser.add_argument("--queries", type=int, default=8,
+                        help="distinct queries per sweep point")
+    parser.add_argument("--workers", default=(1, 2, 4),
+                        type=_workers_list,
+                        help="comma-separated worker counts")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write raw points as JSON to this path")
+    args = parser.parse_args()
+    workers = args.workers
+
+    points = []
+    for num_tables in args.tables:
+        points.extend(run_batch_throughput(
+            num_tables=num_tables, shape=args.shape,
+            num_queries=args.queries, workers_list=workers))
+    print(format_throughput_table(points))
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump([p.as_dict() for p in points], handle, indent=2)
+        print(f"\nwrote {os.path.abspath(args.json_path)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,11 +35,16 @@ from .plans import (JoinOperator, JoinPlan, Plan, ScanOperator, ScanPlan,
                     combine, one_line, render_plan)
 from .query import (JoinGraph, JoinPredicate, ParametricPredicate, Query,
                     QueryGenerator)
+from .service import (BatchItem, BatchOptimizer, BatchOptions,
+                      WarmStartCache, query_signature)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "APPROX_METRICS",
+    "BatchItem",
+    "BatchOptimizer",
+    "BatchOptions",
     "CLOUD_METRICS",
     "Catalog",
     "CloudCostModel",
@@ -81,10 +86,12 @@ __all__ = [
     "SelectedPlan",
     "SharedPartition",
     "Table",
+    "WarmStartCache",
     "combine",
     "make_grid",
     "one_line",
     "optimize_cloud_query",
     "optimize_with",
+    "query_signature",
     "render_plan",
 ]

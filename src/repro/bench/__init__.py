@@ -1,22 +1,29 @@
-"""Experimental harness: workloads, sweep runner, Figure 12 reporting."""
+"""Experimental harness: workloads, sweep runner, Figure 12 + throughput
+reporting."""
 
-from .reporting import ascii_log_chart, figure12_report, format_table
-from .runner import (AggregatedPoint, Measurement, run_point,
+from .reporting import (ascii_log_chart, figure12_report,
+                        format_throughput_table, format_table)
+from .runner import (PAPER_FAITHFUL, AggregatedPoint, Measurement,
+                     ThroughputPoint, run_batch_throughput, run_point,
                      run_query_measurement, run_sweep)
 from .workloads import (FULL, QUICK, SweepPoint, SweepProfile,
                         queries_for_point, sweep_points)
 
 __all__ = [
     "FULL",
+    "PAPER_FAITHFUL",
     "QUICK",
     "AggregatedPoint",
     "Measurement",
     "SweepPoint",
     "SweepProfile",
+    "ThroughputPoint",
     "ascii_log_chart",
     "figure12_report",
     "format_table",
+    "format_throughput_table",
     "queries_for_point",
+    "run_batch_throughput",
     "run_point",
     "run_query_measurement",
     "run_sweep",

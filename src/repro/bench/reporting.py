@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from .runner import AggregatedPoint
+from .runner import AggregatedPoint, ThroughputPoint
 
 
 def format_table(points: Sequence[AggregatedPoint]) -> str:
@@ -25,6 +25,31 @@ def format_table(points: Sequence[AggregatedPoint]) -> str:
             f"{ap.point.num_params:>6} {ap.median_seconds:>10.3f} "
             f"{ap.median_plans:>8.0f} {ap.median_lps:>10.0f} "
             f"{ap.samples:>5}")
+    return "\n".join(lines)
+
+
+def format_throughput_table(points: Sequence[ThroughputPoint]) -> str:
+    """Render batch-throughput points with speedup over the serial row.
+
+    Speedup is computed per (shape, table-count) workload relative to the
+    smallest worker count measured for it (normally the single-process
+    baseline).
+    """
+    baseline: dict[tuple[str, int], ThroughputPoint] = {}
+    for tp in points:
+        key = (tp.shape, tp.num_tables)
+        if key not in baseline or tp.workers < baseline[key].workers:
+            baseline[key] = tp
+    header = (f"{'shape':>6} {'tables':>6} {'queries':>8} {'workers':>8} "
+              f"{'time[s]':>10} {'qps':>8} {'speedup':>8} {'fail':>5}")
+    lines = [header, "-" * len(header)]
+    for tp in points:
+        base = baseline[(tp.shape, tp.num_tables)]
+        speedup = tp.qps / base.qps if base.qps > 0 else float("nan")
+        lines.append(
+            f"{tp.shape:>6} {tp.num_tables:>6} {tp.queries:>8} "
+            f"{tp.workers:>8} {tp.seconds:>10.3f} {tp.qps:>8.2f} "
+            f"{speedup:>7.2f}x {tp.failures:>5}")
     return "\n".join(lines)
 
 

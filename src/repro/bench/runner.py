@@ -1,21 +1,36 @@
-"""Sweep runner for the Figure 12 reproduction.
+"""Sweep runner for the Figure 12 reproduction — plus batch throughput.
 
 Runs PWL-RRPA over the workloads of :mod:`repro.bench.workloads`, collects
 the three measurements of Figure 12 per query (optimization time, #created
 plans, #solved LPs), and aggregates medians per sweep point exactly as the
 paper does ("Each data point corresponds to the median of 25 randomly
 generated test cases").
+
+:func:`run_batch_throughput` extends the harness beyond the paper: it
+sweeps the batch optimization engine of :mod:`repro.service` over worker
+counts and query sizes and reports sustained queries/second, the serving
+measurement the Figure 12 harness has no notion of.
 """
 
 from __future__ import annotations
 
 import statistics
+import time
 from dataclasses import dataclass
 
 from ..core import PWLRRPA, PWLRRPAOptions
 from ..cloud import CloudCostModel
 from .workloads import SweepPoint, SweepProfile, queries_for_point, \
     sweep_points
+
+
+#: Backend configuration matching the paper's implementation for the
+#: Figure 12 measurements: per-incumbent scalar pruning and no LP memo,
+#: so the "#solved linear programs" panel stays comparable to the paper
+#: (the vectorized batch path computes slightly past the scalar loop's
+#: early exit, and cache hits are not counted as solved LPs).  The plan
+#: sets themselves are identical either way.
+PAPER_FAITHFUL = PWLRRPAOptions(vectorized_pruning=False, lp_cache_size=0)
 
 
 @dataclass(frozen=True)
@@ -58,11 +73,19 @@ class AggregatedPoint:
 def run_query_measurement(query, point: SweepPoint,
                           options: PWLRRPAOptions | None = None
                           ) -> Measurement:
-    """Optimize one query and extract the Figure 12 measurements."""
+    """Optimize one query and extract the Figure 12 measurements.
+
+    Args:
+        query: The query to optimize.
+        point: Sweep point providing the cost-model resolution.
+        options: Backend options; defaults to :data:`PAPER_FAITHFUL` so
+            the #LPs panel reproduces the paper's algorithm (pass
+            ``PWLRRPAOptions()`` to measure the accelerated engine).
+    """
     optimizer = PWLRRPA(
         cost_model_factory=lambda q: CloudCostModel(
             q, resolution=point.resolution),
-        options=options)
+        options=options if options is not None else PAPER_FAITHFUL)
     result = optimizer.optimize(query)
     stats = result.stats
     return Measurement(point=point, seconds=stats.optimization_seconds,
@@ -95,3 +118,83 @@ def run_sweep(profile: SweepProfile, shape: str,
     return [run_point(point, profile.queries_per_point, options=options,
                       base_seed=base_seed)
             for point in sweep_points(profile, shape)]
+
+
+# ----------------------------------------------------------------------
+# Batch-engine throughput sweep
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """Throughput of the batch engine at one (workers, query size) point.
+
+    Attributes:
+        workers: Worker processes (``<= 1`` means in-process serial).
+        num_tables: Tables per query.
+        shape: Join graph shape of the workload.
+        queries: Number of distinct queries optimized.
+        seconds: Wall-clock time for the whole batch.
+        qps: Sustained queries per second (``queries / seconds``).
+        failures: Items that did not produce a plan set.
+    """
+
+    workers: int
+    num_tables: int
+    shape: str
+    queries: int
+    seconds: float
+    qps: float
+    failures: int
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (used by the CI bench artifact)."""
+        return {"workers": self.workers, "num_tables": self.num_tables,
+                "shape": self.shape, "queries": self.queries,
+                "seconds": self.seconds, "qps": self.qps,
+                "failures": self.failures}
+
+
+def run_batch_throughput(num_tables: int = 4, shape: str = "chain",
+                         num_queries: int = 8,
+                         workers_list: tuple[int, ...] = (1, 2, 4),
+                         resolution: int = 2,
+                         options: PWLRRPAOptions | None = None,
+                         base_seed: int = 0) -> list[ThroughputPoint]:
+    """Measure batch-engine throughput across worker counts.
+
+    Every worker count optimizes the *same* list of distinct random
+    queries (fresh :class:`repro.service.BatchOptimizer` each, with
+    warm-start disabled) so points differ only in parallelism.
+
+    Args:
+        num_tables: Tables per generated query.
+        shape: Join graph shape.
+        num_queries: Distinct queries per point.
+        workers_list: Worker counts to sweep (``1`` is the single-process
+            baseline).
+        resolution: Cost-model PWL resolution.
+        options: Backend options for every optimization.
+        base_seed: Seed offset for query generation.
+    """
+    from ..query import QueryGenerator
+    from ..service import BatchOptimizer, BatchOptions
+
+    queries = [
+        QueryGenerator(seed=base_seed + i).generate(
+            num_tables=num_tables, shape=shape, num_params=1)
+        for i in range(num_queries)]
+    points = []
+    for workers in workers_list:
+        optimizer = BatchOptimizer(BatchOptions(
+            workers=workers, resolution=resolution, rrpa_options=options,
+            warm_start=False))
+        started = time.perf_counter()
+        items = optimizer.optimize_batch(queries)
+        seconds = time.perf_counter() - started
+        failures = sum(1 for item in items if not item.ok)
+        points.append(ThroughputPoint(
+            workers=workers, num_tables=num_tables, shape=shape,
+            queries=len(queries), seconds=seconds,
+            qps=len(queries) / seconds if seconds > 0 else float("inf"),
+            failures=failures))
+    return points

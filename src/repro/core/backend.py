@@ -50,6 +50,21 @@ class RRPABackend(ABC):
     def dominance(self, cost_a: Any, cost_b: Any) -> Any:
         """``Dom(a, b)``: region where cost ``a`` dominates cost ``b``."""
 
+    def dominance_many(self, costs_a: Sequence[Any], cost_b: Any
+                       ) -> list[Any]:
+        """``Dom(a_k, b)`` for a batch of costs against one cost.
+
+        The default delegates to pairwise :meth:`dominance`; backends with
+        a vectorized batch path (see :class:`repro.core.pwl_backend.
+        PWLBackend`) override this.  Results must equal the pairwise ones.
+        """
+        return [self.dominance(cost_a, cost_b) for cost_a in costs_a]
+
+    def dominance_many_rev(self, cost_a: Any, costs_b: Sequence[Any]
+                           ) -> list[Any]:
+        """``Dom(a, b_k)`` for one cost against a batch of costs."""
+        return [self.dominance(cost_a, cost_b) for cost_b in costs_b]
+
     @abstractmethod
     def reduce_region(self, region: Any, dominated: Any) -> None:
         """Reduce ``region`` by a dominance region, in place."""

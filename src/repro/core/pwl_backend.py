@@ -20,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..cost import MultiObjectivePWL, accumulator_map
+from ..cost import (MultiObjectivePWL, accumulator_map,
+                    batch_dominance_aligned)
 from ..geometry import (ConvexPolytope, RelevanceRegion,
                         default_relevance_points)
 from ..lp import LinearProgramSolver, LPStats
@@ -51,6 +52,14 @@ class PWLRRPAOptions:
             region accumulates more than ``cutout_cleanup_threshold``
             cutouts.
         cutout_cleanup_threshold: See above.
+        vectorized_pruning: Decide aligned-partition dominance against all
+            incumbents in one NumPy array pass instead of one Python loop
+            per incumbent.  Produces identical polytope sets to the scalar
+            path (falls back to it whenever the batch preconditions do not
+            hold); off only for ablation/regression comparisons.
+        lp_cache_size: Size of the per-run LP-result memo cache keyed by
+            canonicalized constraint sets (0 disables).  Cache hits are
+            not counted as solved LPs.
         approximation_factor: Alpha >= 0 for *alpha-dominance* pruning
             (the approximation-scheme idea of the paper's companion work,
             citation [31]): a plan is pruned wherever an alternative is
@@ -67,11 +76,15 @@ class PWLRRPAOptions:
     simplify_polytopes: bool = False
     remove_redundant_cutouts: bool = False
     cutout_cleanup_threshold: int = 12
+    vectorized_pruning: bool = True
+    lp_cache_size: int = 4096
     approximation_factor: float = 0.0
 
     def __post_init__(self) -> None:
         if self.approximation_factor < 0:
             raise ValueError("approximation factor must be >= 0")
+        if self.lp_cache_size < 0:
+            raise ValueError("LP cache size must be >= 0")
 
 
 class PWLBackend(RRPABackend):
@@ -93,7 +106,8 @@ class PWLBackend(RRPABackend):
         self.cost_model = cost_model
         self.options = options or PWLRRPAOptions()
         self.lp_stats = lp_stats if lp_stats is not None else LPStats()
-        self.solver = LinearProgramSolver(stats=self.lp_stats)
+        self.solver = LinearProgramSolver(
+            stats=self.lp_stats, cache_size=self.options.lp_cache_size)
         self.stats = stats
         self.space: ConvexPolytope = cost_model.partition.space
         self._accumulators = accumulator_map(cost_model.metrics)
@@ -150,6 +164,10 @@ class PWLBackend(RRPABackend):
                   cost_b: MultiObjectivePWL) -> list[ConvexPolytope]:
         polys = cost_a.dominance_polytopes(
             cost_b, self.solver, relax=self.options.approximation_factor)
+        return self._simplified(polys)
+
+    def _simplified(self, polys: list[ConvexPolytope]
+                    ) -> list[ConvexPolytope]:
         if self.options.simplify_polytopes:
             # Whole grid cells (recognizable by their vertex hint) are
             # already minimal; only simplify polytopes that gained
@@ -158,6 +176,27 @@ class PWLBackend(RRPABackend):
                      else p.remove_redundant(self.solver)
                      for p in polys]
         return polys
+
+    def dominance_many(self, costs_a, cost_b) -> list[list[ConvexPolytope]]:
+        """Vectorized ``Dom(a_k, b)`` over all aligned incumbents at once."""
+        if self.options.vectorized_pruning:
+            batch = batch_dominance_aligned(
+                costs_a, cost_b, self.solver,
+                relax=self.options.approximation_factor, many_first=True)
+            if batch is not None:
+                return [self._simplified(polys) for polys in batch]
+        return [self.dominance(cost_a, cost_b) for cost_a in costs_a]
+
+    def dominance_many_rev(self, cost_a, costs_b
+                           ) -> list[list[ConvexPolytope]]:
+        """Vectorized ``Dom(a, b_k)`` over all aligned incumbents at once."""
+        if self.options.vectorized_pruning:
+            batch = batch_dominance_aligned(
+                costs_b, cost_a, self.solver,
+                relax=self.options.approximation_factor, many_first=False)
+            if batch is not None:
+                return [self._simplified(polys) for polys in batch]
+        return [self.dominance(cost_a, cost_b) for cost_b in costs_b]
 
     def reduce_region(self, region: RelevanceRegion,
                       dominated: list[ConvexPolytope]) -> None:

@@ -116,6 +116,11 @@ class RRPA:
     # Pruning (Algorithm 1, procedure Prune)
     # ------------------------------------------------------------------
 
+    #: Incumbents per vectorized dominance batch while reducing the new
+    #: plan's RR.  Chunking bounds the work wasted when the RR empties
+    #: early (the scalar loop would have stopped at that incumbent).
+    PRUNE_CHUNK = 8
+
     def _prune(self, entries: list[PlanEntry], new_plan: Plan,
                new_cost: Any, stats: OptimizerStats) -> None:
         """Insert ``new_plan`` into ``entries`` unless it is irrelevant."""
@@ -123,18 +128,22 @@ class RRPA:
         stats.plans_created += 1
         new_region = backend.full_region()
         # Reduce the new plan's RR by every incumbent's dominance region.
-        for old in entries:
-            stats.pruning_comparisons += 1
-            dominated = backend.dominance(old.cost, new_cost)
-            backend.reduce_region(new_region, dominated)
-            if backend.region_is_empty(new_region):
-                stats.plans_discarded_new += 1
-                return
+        for start in range(0, len(entries), self.PRUNE_CHUNK):
+            chunk = entries[start:start + self.PRUNE_CHUNK]
+            dom_lists = backend.dominance_many(
+                [old.cost for old in chunk], new_cost)
+            for dominated in dom_lists:
+                stats.pruning_comparisons += 1
+                backend.reduce_region(new_region, dominated)
+                if backend.region_is_empty(new_region):
+                    stats.plans_discarded_new += 1
+                    return
         # The new plan is relevant somewhere: displace dominated incumbents.
         survivors = []
-        for old in entries:
+        dom_lists = backend.dominance_many_rev(
+            new_cost, [old.cost for old in entries])
+        for old, dominated in zip(entries, dom_lists):
             stats.pruning_comparisons += 1
-            dominated = backend.dominance(new_cost, old.cost)
             backend.reduce_region(old.region, dominated)
             if backend.region_is_empty(old.region):
                 stats.plans_displaced_old += 1

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..errors import OptimizationError
 from ..plans import Plan
+from ..util import BoundedLRU
 from .rrpa import OptimizationResult
 
 
@@ -48,10 +49,18 @@ class PlanSelector:
 
     Args:
         result: A completed optimization run.
+        cache_size: Upper bound on memoized parameter points (LRU
+            eviction), so a long-running service selecting at
+            ever-changing run-time parameters cannot grow the memo
+            without limit.  ``0`` disables memoization.
     """
 
     result: OptimizationResult
-    _cache: dict = field(default_factory=dict, repr=False)
+    cache_size: int = 256
+    _cache: BoundedLRU = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self._cache = BoundedLRU(self.cache_size)
 
     def _candidates(self, x) -> list[tuple[Plan, dict[str, float]]]:
         key = tuple(np.asarray(x, dtype=float).tolist())
@@ -59,7 +68,7 @@ class PlanSelector:
         if cached is None:
             cached = [(entry.plan, entry.cost.evaluate(x))
                       for entry in self.result.plans_for(x)]
-            self._cache[key] = cached
+            self._cache.put(key, cached)
         return cached
 
     def frontier(self, x) -> list[tuple[Plan, dict[str, float]]]:
@@ -103,22 +112,25 @@ class PlanSelector:
         Raises:
             OptimizationError: If no plan satisfies the bounds; callers
                 should relax the bounds (the exception message reports the
-                best achievable value).
+                best achievable value per bounded metric).
         """
         best: SelectedPlan | None = None
-        tightest: float = np.inf
+        best_achievable: dict[str, float] = {m: np.inf for m in bounds}
         for plan, cost in self._candidates(x):
             violated = any(cost.get(m, np.inf) > b + 1e-12
                            for m, b in bounds.items())
-            for m, b in bounds.items():
-                tightest = min(tightest, cost.get(m, np.inf))
+            for m in bounds:
+                best_achievable[m] = min(best_achievable[m],
+                                         cost.get(m, np.inf))
             if violated:
                 continue
             score = cost[minimize]
             if best is None or score < best.score:
                 best = SelectedPlan(plan=plan, cost=cost, score=score)
         if best is None:
+            detail = ", ".join(
+                f"{m}: best achievable {best_achievable[m]:.4g} vs bound "
+                f"{b:.4g}" for m, b in bounds.items())
             raise OptimizationError(
-                f"no plan satisfies bounds {dict(bounds)}; best achievable "
-                f"bound value is {tightest:.4g}")
+                f"no plan satisfies bounds {dict(bounds)}; {detail}")
         return best

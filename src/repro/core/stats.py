@@ -62,5 +62,6 @@ class OptimizerStats:
             "emptiness_checks": self.emptiness_checks,
             "emptiness_checks_skipped": self.emptiness_checks_skipped,
             "lps_solved": self.lps_solved,
+            "lp_cache_hits": self.lp_stats.cache_hits,
             "optimization_seconds": self.optimization_seconds,
         }

@@ -13,6 +13,8 @@ Public API:
 * :class:`SharedPartition` — simplicial grid for PWL approximation with
   aligned-partition fast paths.
 * :func:`accumulate_cost` — ``AccumulateCost`` of Algorithm 3.
+* :func:`batch_dominance_aligned` — vectorized ``Dom`` of one cost against
+  a whole batch of aligned costs (RRPA pruning hot path).
 """
 
 from .accumulate import accumulate_cost, accumulator_map
@@ -22,7 +24,7 @@ from .metrics import (APPROX_METRICS, CLOUD_METRICS, FEES, PRECISION_LOSS,
                       TIME, CostMetric, metric_names)
 from .multilinear import ParamPolynomial, poly_sum
 from .pwl import PiecewiseLinearFunction, pwl_sum
-from .vector import MultiObjectivePWL
+from .vector import MultiObjectivePWL, batch_dominance_aligned
 
 __all__ = [
     "APPROX_METRICS",
@@ -38,6 +40,7 @@ __all__ = [
     "SharedPartition",
     "accumulate_cost",
     "accumulator_map",
+    "batch_dominance_aligned",
     "metric_names",
     "poly_sum",
     "pwl_approximation_error",

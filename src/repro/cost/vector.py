@@ -27,7 +27,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..errors import DimensionMismatchError
-from ..geometry import ConvexPolytope, LinearConstraint
+from ..geometry import GEOMETRY_EPS, ConvexPolytope, LinearConstraint
 from ..lp import LinearProgramSolver
 from .linear import LinearPiece
 from .pwl import PiecewiseLinearFunction
@@ -43,7 +43,7 @@ class MultiObjectivePWL:
             dimensionality.
     """
 
-    __slots__ = ("components", "dim")
+    __slots__ = ("components", "dim", "_stack_cache")
 
     def __init__(self, components: Mapping[str, PiecewiseLinearFunction]
                  ) -> None:
@@ -55,6 +55,7 @@ class MultiObjectivePWL:
             raise DimensionMismatchError(
                 f"components live in different dims: {dims}")
         self.dim = dims.pop()
+        self._stack_cache: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -105,6 +106,27 @@ class MultiObjectivePWL:
     def total_pieces(self) -> int:
         """Total number of linear pieces across all components."""
         return sum(f.num_pieces for f in self.components.values())
+
+    def aligned_stack(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-metric piece coefficients as stacked arrays (cached).
+
+        Returns ``(W, B)`` with ``W`` of shape ``(nM, nP, dim)`` and ``B``
+        of shape ``(nM, nP)``, metrics ordered by :attr:`metric_names`.
+        Only meaningful for functions whose components share one partition
+        (equal piece counts); raises ``ValueError`` otherwise.
+        """
+        if self._stack_cache is not None:
+            return self._stack_cache
+        names = self.metric_names
+        counts = {self.components[m].num_pieces for m in names}
+        if len(counts) != 1:
+            raise ValueError("components have differing piece counts")
+        w = np.array([[np.asarray(p.w, dtype=float)
+                       for p in self.components[m].pieces] for m in names])
+        b = np.array([[p.b for p in self.components[m].pieces]
+                      for m in names], dtype=float)
+        self._stack_cache = (w, b)
+        return self._stack_cache
 
     def same_partition(self, other: "MultiObjectivePWL") -> bool:
         """``True`` when every pair of matching components is aligned."""
@@ -303,3 +325,139 @@ class MultiObjectivePWL:
         parts = ", ".join(f"{name}:{f.num_pieces}p"
                           for name, f in sorted(self.components.items()))
         return f"MultiObjectivePWL({parts})"
+
+
+# ----------------------------------------------------------------------
+# Vectorized batch dominance (aligned partitions)
+# ----------------------------------------------------------------------
+
+def _shared_pieces(many: Sequence[MultiObjectivePWL],
+                   one: MultiObjectivePWL):
+    """Validate that all functions share piece regions with vertex hints.
+
+    Returns ``(pieces, verts)`` — the shared piece list (of the first
+    metric) and the stacked vertex array of shape ``(nP, nV, dim)`` — or
+    ``None`` when any precondition for the vectorized path fails.
+    """
+    names = one.metric_names
+    first = one.components[names[0]]
+    pieces = first.pieces
+    verts_list = []
+    for piece in pieces:
+        hint = piece.region.vertex_hint
+        if hint is None or (verts_list
+                            and hint.shape != verts_list[0].shape):
+            return None
+        verts_list.append(hint)
+    for cost in many:
+        if not one.same_partition(cost):
+            return None
+        theirs = cost.components[names[0]].pieces
+        for idx, piece in enumerate(pieces):
+            # The aligned path only ever reads regions of the first
+            # metric's pieces; identity guarantees identical output
+            # polytopes (including vertex hints and cell tags).
+            if theirs[idx].region is not piece.region:
+                return None
+    return pieces, np.stack(verts_list)
+
+
+def batch_dominance_aligned(many: Sequence[MultiObjectivePWL],
+                            one: MultiObjectivePWL,
+                            solver: LinearProgramSolver,
+                            relax: float = 0.0,
+                            many_first: bool = True
+                            ) -> list[list[ConvexPolytope]] | None:
+    """Vectorized ``Dom`` between a batch of aligned costs and one cost.
+
+    Computes ``Dom(many[k], one)`` for every ``k`` when ``many_first`` is
+    true, else ``Dom(one, many[k])`` — the two directions RRPA's pruning
+    procedure needs when inserting one new plan against all incumbents.
+    The per-cell, per-metric dominance constraints of the aligned path are
+    classified for the *whole batch* in one array pass over the shared
+    partition's vertex hints; only genuinely mixed cells fall back to
+    polytope assembly (and, rarely, an emptiness LP), exactly mirroring
+    :meth:`MultiObjectivePWL._dominance_aligned` decision by decision so
+    the produced polytope lists are identical to the scalar path's.
+
+    Returns ``None`` when the batch does not satisfy the aligned-path
+    preconditions (callers then fall back to pairwise ``Dom``).
+
+    Args:
+        many: Batch of cost functions, all aligned with ``one``.
+        one: The single cost function compared against the whole batch.
+        solver: LP solver for mixed-cell emptiness checks.
+        relax: Alpha-dominance approximation factor (``>= 0``).
+        many_first: Direction of the comparison (see above).
+    """
+    if relax < 0:
+        raise ValueError("approximation factor must be >= 0")
+    if not many:
+        return []
+    for cost in many:
+        if set(cost.components) != set(one.components):
+            raise ValueError("metric sets differ")
+    shared = _shared_pieces(many, one)
+    if shared is None:
+        return None
+    pieces, verts = shared
+    factor = 1.0 + relax
+
+    w_one, b_one = one.aligned_stack()                    # (m, p, d) / (m, p)
+    w_many = np.stack([c.aligned_stack()[0] for c in many])  # (k, m, p, d)
+    b_many = np.stack([c.aligned_stack()[1] for c in many])  # (k, m, p)
+    if many_first:
+        diff_w = w_many - factor * w_one[None]
+        diff_b = factor * b_one[None] - b_many
+    else:
+        diff_w = w_one[None] - factor * w_many
+        diff_b = factor * b_many - b_one[None]
+
+    # Normalize exactly as LinearConstraint.make does.
+    norms = np.linalg.norm(diff_w, axis=-1)               # (k, m, p)
+    nontrivial_norm = norms > GEOMETRY_EPS
+    safe = np.where(nontrivial_norm, norms, 1.0)
+    a_n = diff_w / safe[..., None]
+    b_n = diff_b / safe
+    # Degenerate zero-coefficient constraints: full space or empty set.
+    trivial = ~nontrivial_norm & (b_n >= -GEOMETRY_EPS)
+    infeasible_triv = ~nontrivial_norm & (b_n < -GEOMETRY_EPS)
+
+    # Vertex slacks of every constraint on its cell: (k, m, p, v).
+    slack = np.matmul(verts, a_n[..., None])[..., 0] - b_n[..., None]
+    violated_all = np.all(slack > 1e-10, axis=-1)
+    holds_all = np.all(slack <= 1e-10, axis=-1)
+
+    metric_infeasible = infeasible_triv | (nontrivial_norm & violated_all)
+    metric_holds = trivial | (nontrivial_norm & ~violated_all & holds_all)
+    cell_infeasible = np.any(metric_infeasible, axis=1)   # (k, p)
+    cell_whole = ~cell_infeasible & np.all(
+        metric_holds | metric_infeasible, axis=1)
+    needs_work = ~cell_infeasible & ~cell_whole
+
+    names = one.metric_names
+    results: list[list[ConvexPolytope]] = []
+    for k in range(len(many)):
+        polys: list[ConvexPolytope] = []
+        for idx in range(len(pieces)):
+            if cell_infeasible[k, idx]:
+                continue
+            # Identity-checked above: p1's region IS the shared region.
+            region = pieces[idx].region
+            if cell_whole[k, idx]:
+                polys.append(region)
+                continue
+            if needs_work[k, idx]:
+                candidate = region
+                for m in range(len(names)):
+                    if metric_holds[k, m, idx]:
+                        continue
+                    candidate = candidate.with_constraint(
+                        LinearConstraint.make(diff_w[k, m, idx],
+                                              diff_b[k, m, idx]))
+                if candidate.contains_point(verts[idx].mean(axis=0)):
+                    polys.append(candidate)
+                elif not candidate.is_empty(solver):
+                    polys.append(candidate)
+        results.append(polys)
+    return results

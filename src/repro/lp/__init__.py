@@ -5,6 +5,7 @@ Public API:
 * :class:`LinearProgramSolver` / :func:`make_solver` — LP facade with
   pluggable backends (scipy HiGHS or the built-in simplex).
 * :class:`LPResult` — solve outcome.
+* :class:`LPResultCache` — bounded LRU memo over canonicalized LP inputs.
 * :class:`LPStats` / :func:`default_stats` — counters used to reproduce the
   "#solved linear programs" measurements of Figure 12.
 * :func:`solve_simplex` — the dependency-free simplex used as fallback and
@@ -13,10 +14,11 @@ Public API:
 
 from .counters import LPStats, default_stats
 from .simplex import SimplexResult, solve_simplex
-from .solver import LinearProgramSolver, LPResult, make_solver
+from .solver import LinearProgramSolver, LPResult, LPResultCache, make_solver
 
 __all__ = [
     "LPResult",
+    "LPResultCache",
     "LPStats",
     "LinearProgramSolver",
     "SimplexResult",

@@ -23,6 +23,9 @@ class LPStats:
         unbounded: How many were reported unbounded.
         feasibility_checks: LPs solved purely to test feasibility.
         optimizations: LPs solved with a non-trivial objective.
+        cache_hits: Solves answered from an LP-result memo cache instead of
+            a backend (not counted in ``solved`` — the paper's "#solved
+            linear programs" metric reports actual solver work).
     """
 
     solved: int = 0
@@ -30,6 +33,7 @@ class LPStats:
     unbounded: int = 0
     feasibility_checks: int = 0
     optimizations: int = 0
+    cache_hits: int = 0
     _by_purpose: dict[str, int] = field(default_factory=dict)
 
     def record(self, *, purpose: str = "generic", feasible: bool = True,
@@ -55,6 +59,10 @@ class LPStats:
             self.feasibility_checks += 1
         self._by_purpose[purpose] = self._by_purpose.get(purpose, 0) + 1
 
+    def record_cache_hit(self) -> None:
+        """Record a solve answered from the memo cache (no solver work)."""
+        self.cache_hits += 1
+
     def by_purpose(self) -> dict[str, int]:
         """Return a copy of the per-purpose LP counts."""
         return dict(self._by_purpose)
@@ -66,6 +74,7 @@ class LPStats:
         self.unbounded = 0
         self.feasibility_checks = 0
         self.optimizations = 0
+        self.cache_hits = 0
         self._by_purpose.clear()
 
     def merge(self, other: "LPStats") -> None:
@@ -75,6 +84,7 @@ class LPStats:
         self.unbounded += other.unbounded
         self.feasibility_checks += other.feasibility_checks
         self.optimizations += other.optimizations
+        self.cache_hits += other.cache_hits
         for key, value in other._by_purpose.items():
             self._by_purpose[key] = self._by_purpose.get(key, 0) + value
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import SolverError
+from ..util import BoundedLRU
 from .counters import LPStats, default_stats
 from .simplex import solve_simplex
 
@@ -57,6 +58,54 @@ class LPResult:
         return self.status == "infeasible"
 
 
+class LPResultCache:
+    """Bounded LRU memo of :class:`LPResult` keyed by canonicalized inputs.
+
+    The pruning loops of RRPA solve the *same* tiny LPs over and over:
+    identical dominance polytopes arise whenever the same pair of cost
+    functions is compared while pruning different table sets.  Keys
+    canonicalize the constraint set by sorting rows of ``[A_ub | b_ub]``,
+    so two constraint orderings describing the same feasible set share one
+    entry.  This is sound for every predicate built on top of the solver
+    (feasibility, objective optima and minimizers do not depend on
+    constraint order).
+
+    Args:
+        maxsize: Maximum number of cached results (LRU eviction).
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self.maxsize = maxsize
+        self._data = BoundedLRU(maxsize)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @staticmethod
+    def make_key(c: np.ndarray, a_ub: np.ndarray | None,
+                 b_ub: np.ndarray | None, bounds) -> tuple:
+        """Canonical hashable key for one LP instance."""
+        if a_ub is None:
+            rows_key = b""
+        else:
+            rows = np.hstack([a_ub, b_ub[:, None]])
+            order = np.lexsort(rows.T[::-1])
+            rows_key = rows[order].tobytes()
+        return (c.shape[0], c.tobytes(), rows_key, tuple(map(tuple, bounds)))
+
+    def get(self, key: tuple) -> LPResult | None:
+        """Look up a cached result, refreshing its LRU position.
+
+        Hit accounting lives in :class:`LPStats` (``cache_hits``), the
+        single source the optimizer statistics report.
+        """
+        return self._data.get(key)
+
+    def put(self, key: tuple, result: LPResult) -> None:
+        """Store a result, evicting the least recently used on overflow."""
+        self._data.put(key, result)
+
+
 class LinearProgramSolver:
     """Facade over LP backends that records every solve in an :class:`LPStats`.
 
@@ -65,10 +114,12 @@ class LinearProgramSolver:
             process-wide counter from :func:`repro.lp.counters.default_stats`.
         backend: ``"scipy"``, ``"simplex"`` or ``"auto"`` (scipy when
             available, simplex otherwise).
+        cache_size: Size of the LP-result memo cache; ``0`` (the default)
+            disables memoization so counters reflect every solve.
     """
 
     def __init__(self, stats: LPStats | None = None,
-                 backend: str = "auto") -> None:
+                 backend: str = "auto", cache_size: int = 0) -> None:
         if backend == "auto":
             # The LPs arising in PWL-RRPA are tiny (a handful of variables,
             # dozens of constraints); the dependency-free simplex beats
@@ -81,6 +132,7 @@ class LinearProgramSolver:
             raise SolverError("scipy backend requested but scipy is missing")
         self.backend = backend
         self.stats = stats if stats is not None else default_stats()
+        self.cache = LPResultCache(cache_size) if cache_size > 0 else None
 
     def solve(self, c, a_ub=None, b_ub=None, bounds=None, *,
               purpose: str = "generic") -> LPResult:
@@ -115,6 +167,14 @@ class LinearProgramSolver:
         else:
             a_ub, b_ub = None, None
 
+        key = None
+        if self.cache is not None:
+            key = LPResultCache.make_key(c, a_ub, b_ub, bounds)
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.stats.record_cache_hit()
+                return cached
+
         if self.backend == "scipy":
             result = self._solve_scipy(c, a_ub, b_ub, bounds)
         elif self.backend == "simplex":
@@ -129,6 +189,8 @@ class LinearProgramSolver:
                           feasible=not result.is_infeasible,
                           bounded=result.status != "unbounded",
                           objective=has_objective)
+        if key is not None:
+            self.cache.put(key, result)
         return result
 
     def feasible(self, a_ub, b_ub, bounds=None, *,
@@ -159,6 +221,8 @@ class LinearProgramSolver:
 
 
 def make_solver(stats: LPStats | None = None,
-                backend: str = "auto") -> LinearProgramSolver:
+                backend: str = "auto",
+                cache_size: int = 0) -> LinearProgramSolver:
     """Convenience constructor mirroring :class:`LinearProgramSolver`."""
-    return LinearProgramSolver(stats=stats, backend=backend)
+    return LinearProgramSolver(stats=stats, backend=backend,
+                               cache_size=cache_size)

@@ -1,0 +1,25 @@
+"""Batch optimization service: concurrent MPQ optimization with caching.
+
+Public API:
+
+* :class:`BatchOptimizer` / :class:`BatchOptions` / :class:`BatchItem` —
+  optimize many queries concurrently with deterministic result ordering,
+  per-query error isolation and timeouts.
+* :class:`WarmStartCache` — LRU (optionally disk-backed) cache of
+  serialized Pareto plan sets.
+* :func:`query_signature` / :func:`signature_document` — the cache key:
+  a digest of the query's join graph, statistics and cost-model config.
+"""
+
+from .batch import BatchItem, BatchOptimizer, BatchOptions
+from .cache import WarmStartCache
+from .signature import query_signature, signature_document
+
+__all__ = [
+    "BatchItem",
+    "BatchOptimizer",
+    "BatchOptions",
+    "WarmStartCache",
+    "query_signature",
+    "signature_document",
+]

@@ -1,0 +1,112 @@
+"""Warm-start cache: serialized Pareto plan sets keyed by query signature.
+
+The MPQ workflow (Figure 2 of the paper) already splits optimization from
+run-time selection; a long-running service takes the next step and reuses
+*whole optimization outcomes* across queries.  The cache stores the JSON
+documents produced by :mod:`repro.core.serialize`, bounded by an LRU
+policy, with optional persistence to a directory so warm state survives
+process restarts (and can be shared between worker fleets).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from ..core import StoredPlanSet, decode_plan_set
+from ..util import BoundedLRU
+
+
+class WarmStartCache:
+    """Bounded LRU cache of serialized plan-set documents.
+
+    Args:
+        maxsize: Maximum number of in-memory entries (LRU eviction);
+            ``0`` disables the in-memory tier (the disk tier, when
+            configured, still works).
+        directory: Optional directory for JSON persistence; entries are
+            written as ``<signature>.json`` and read back on memory
+            misses, so the directory acts as a second cache tier.
+    """
+
+    def __init__(self, maxsize: int = 128,
+                 directory: str | os.PathLike | None = None) -> None:
+        self.maxsize = maxsize
+        self.directory = os.fspath(directory) if directory else None
+        if self.directory:
+            os.makedirs(self.directory, exist_ok=True)
+        self._data = BoundedLRU(maxsize)
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, signature: str) -> bool:
+        return signature in self._data or self._path_for(signature) is not None
+
+    def _path_for(self, signature: str) -> str | None:
+        if not self.directory:
+            return None
+        path = os.path.join(self.directory, f"{signature}.json")
+        return path if os.path.exists(path) else None
+
+    def get(self, signature: str) -> dict | None:
+        """Return the cached plan-set document, or ``None`` on a miss.
+
+        Corrupt or unreadable disk entries (a truncated file, a foreign
+        schema in a shared directory) count as misses rather than
+        failing the caller — the query is simply re-optimized.
+        """
+        doc = self._data.get(signature)
+        if doc is not None:
+            self.hits += 1
+            return doc
+        path = self._path_for(signature)
+        if path is not None:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    doc = json.load(handle)
+            except (OSError, ValueError):
+                self.misses += 1
+                return None
+            self._data.put(signature, doc)
+            self.hits += 1
+            return doc
+        self.misses += 1
+        return None
+
+    def load(self, signature: str) -> StoredPlanSet | None:
+        """Like :meth:`get`, but decoded into a :class:`StoredPlanSet`.
+
+        Returns ``None`` for undecodable documents as well as misses.
+        """
+        doc = self.get(signature)
+        if doc is None:
+            return None
+        try:
+            return decode_plan_set(doc)
+        except Exception:
+            return None
+
+    def put(self, signature: str, doc: dict) -> None:
+        """Insert a plan-set document, persisting it when configured.
+
+        Disk writes go through a writer-unique temp file plus atomic
+        rename, so concurrent processes sharing one directory never
+        install a half-written document.
+        """
+        self._data.put(signature, doc)
+        if self.directory:
+            path = os.path.join(self.directory, f"{signature}.json")
+            fd, tmp = tempfile.mkstemp(dir=self.directory,
+                                       suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(doc, handle)
+                os.replace(tmp, path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise

@@ -1,0 +1,64 @@
+"""Canonical query signatures for warm-start caching.
+
+The batch optimization service memoizes serialized Pareto plan sets per
+*query signature*: a digest of everything the PWL-RRPA output depends on —
+the join graph with its selectivities, per-table statistics, indexes,
+parametric predicates, the cost-model resolution and the backend options.
+Two queries with equal signatures are guaranteed to produce identical
+Pareto plan sets (the optimizer is deterministic), so a cached plan set
+can stand in for a fresh optimization run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+
+from ..core import PWLRRPAOptions
+from ..query import Query
+
+
+def signature_document(query: Query, *, resolution: int = 2,
+                       options: PWLRRPAOptions | None = None) -> dict:
+    """Return the canonical JSON-ready description hashed by the signature.
+
+    Args:
+        query: The query to describe.
+        resolution: PWL grid resolution of the cost model.
+        options: Backend options (defaults hashed when omitted).
+    """
+    catalog = query.catalog
+    tables = []
+    for name in sorted(query.tables):
+        table = catalog.table(name)
+        tables.append({
+            "name": name,
+            "cardinality": table.cardinality,
+            "columns": sorted(
+                (c.name, c.distinct_values, c.width_bytes)
+                for c in table.columns),
+        })
+    joins = sorted(
+        (min(p.left_table, p.right_table), max(p.left_table, p.right_table),
+         p.left_column, p.right_column, p.selectivity)
+        for p in query.join_predicates)
+    params = sorted((p.table, p.column, p.parameter_index)
+                    for p in query.parametric_predicates)
+    indexes = sorted((i.table_name, i.column_name) for i in catalog.indexes)
+    return {
+        "tables": tables,
+        "joins": joins,
+        "params": params,
+        "indexes": indexes,
+        "resolution": resolution,
+        "options": asdict(options or PWLRRPAOptions()),
+    }
+
+
+def query_signature(query: Query, *, resolution: int = 2,
+                    options: PWLRRPAOptions | None = None) -> str:
+    """Hex digest identifying ``(query, cost-model config)`` for caching."""
+    doc = signature_document(query, resolution=resolution, options=options)
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.analysis import PlanDiagram, compute_diagram, render_diagram
+from repro.analysis import compute_diagram, render_diagram
 from repro.core import optimize_cloud_query
 from repro.query import QueryGenerator
 

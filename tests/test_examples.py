@@ -6,8 +6,6 @@ import pathlib
 import subprocess
 import sys
 
-import pytest
-
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 
@@ -62,3 +60,10 @@ def test_plan_diagrams():
     out = run_example("plan_diagrams.py")
     assert "legend" in out
     assert "(x0 rightwards, x1 upwards)" in out
+
+
+def test_batch_service():
+    out = run_example("batch_service.py")
+    assert "Cold batch" in out
+    assert "Warm batch" in out
+    assert "cache hits=4" in out

@@ -1,0 +1,86 @@
+"""Tests for the LP-result memo cache (canonicalized constraint keys)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lp import LinearProgramSolver, LPResultCache, LPStats
+
+
+def _square(shift: float = 0.0):
+    """Constraints of the unit square shifted by ``shift``, as (A, b)."""
+    a = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+    b = np.array([1.0 + shift, 0.0, 1.0 + shift, 0.0])
+    return a, b
+
+
+class TestLPResultCache:
+    def test_disabled_by_default(self):
+        stats = LPStats()
+        solver = LinearProgramSolver(stats=stats)
+        a, b = _square()
+        for __ in range(2):
+            solver.solve(np.zeros(2), a, b)
+        assert solver.cache is None
+        assert stats.solved == 2
+        assert stats.cache_hits == 0
+
+    def test_identical_solves_hit(self):
+        stats = LPStats()
+        solver = LinearProgramSolver(stats=stats, cache_size=16)
+        a, b = _square()
+        first = solver.solve(np.zeros(2), a, b)
+        second = solver.solve(np.zeros(2), a, b)
+        assert stats.solved == 1
+        assert stats.cache_hits == 1
+        assert second is first
+
+    def test_row_order_is_canonicalized(self):
+        stats = LPStats()
+        solver = LinearProgramSolver(stats=stats, cache_size=16)
+        a, b = _square()
+        solver.solve(np.zeros(2), a, b)
+        perm = [2, 0, 3, 1]
+        solver.solve(np.zeros(2), a[perm], b[perm])
+        assert stats.solved == 1
+        assert stats.cache_hits == 1
+
+    def test_different_instances_miss(self):
+        stats = LPStats()
+        solver = LinearProgramSolver(stats=stats, cache_size=16)
+        a, b = _square()
+        solver.solve(np.zeros(2), a, b)
+        a2, b2 = _square(shift=0.5)
+        solver.solve(np.zeros(2), a2, b2)
+        solver.solve(np.array([1.0, 0.0]), a, b)  # same set, new objective
+        assert stats.solved == 3
+        assert stats.cache_hits == 0
+
+    def test_results_match_uncached(self):
+        cached = LinearProgramSolver(stats=LPStats(), cache_size=16)
+        plain = LinearProgramSolver(stats=LPStats())
+        a, b = _square()
+        c = np.array([-1.0, -2.0])
+        want = plain.solve(c, a, b)
+        got = cached.solve(c, a, b)
+        again = cached.solve(c, a, b)
+        assert got.status == want.status == again.status
+        assert np.isclose(got.objective, want.objective)
+
+    def test_lru_eviction_bounds_size(self):
+        cache = LPResultCache(maxsize=2)
+        solver = LinearProgramSolver(stats=LPStats(), cache_size=2)
+        solver.cache = cache
+        for shift in (0.0, 0.25, 0.5, 0.75):
+            a, b = _square(shift)
+            solver.solve(np.zeros(2), a, b)
+        assert len(cache) == 2
+
+    def test_cache_hits_merge_and_reset(self):
+        first = LPStats()
+        first.record_cache_hit()
+        second = LPStats()
+        second.merge(first)
+        assert second.cache_hits == 1
+        second.reset()
+        assert second.cache_hits == 0

@@ -7,8 +7,7 @@ import pytest
 
 from repro.cloud import ClusterSpec, MemoryCloudCostModel
 from repro.core import PWLRRPA
-from repro.plans import (PARALLEL_HASH_JOIN, SINGLE_NODE_HASH_JOIN,
-                         ScanPlan, combine)
+from repro.plans import SINGLE_NODE_HASH_JOIN, ScanPlan, combine
 from repro.query import QueryGenerator
 
 

@@ -9,7 +9,7 @@ from repro.approx import ApproxCostModel
 from repro.cloud import CloudCostModel, ClusterSpec, PricingModel
 from repro.errors import PlanError
 from repro.plans import (FULL_SCAN, INDEX_SEEK, PARALLEL_HASH_JOIN,
-                         SAMPLED_SCAN_10, SINGLE_NODE_HASH_JOIN, JoinPlan,
+                         SAMPLED_SCAN_10, SINGLE_NODE_HASH_JOIN,
                          ScanPlan, combine, one_line, render_plan)
 from repro.query import QueryGenerator
 

@@ -14,7 +14,7 @@ import pytest
 
 from repro.cloud import CloudCostModel
 from repro.core import PWLRRPA, RRPA, GridBackend, make_grid
-from repro.cost import MultiObjectivePWL, SharedPartition, ParamPolynomial
+from repro.cost import SharedPartition, ParamPolynomial
 from repro.errors import SolverError
 from repro.geometry import ConvexPolytope, RelevanceRegion
 from repro.lp import LinearProgramSolver, LPStats

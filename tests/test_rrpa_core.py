@@ -9,7 +9,6 @@ from repro.cloud import CloudCostModel
 from repro.core import (GridBackend, PWLRRPA, PWLRRPAOptions, RRPA,
                         count_considered_splits, make_grid,
                         optimize_cloud_query, splits, subsets_in_size_order)
-from repro.errors import OptimizationError
 from repro.plans import ScanPlan
 from repro.query import QueryGenerator
 

@@ -12,7 +12,6 @@ from repro.bench import (QUICK, SweepPoint, format_table, figure12_report,
 from repro.core import PWLRRPA, PlanSelector
 from repro.cost import MultiObjectivePWL, PiecewiseLinearFunction
 from repro.geometry import ConvexPolytope
-from repro.plans import SAMPLED_SCAN_10
 from repro.query import QueryGenerator
 
 

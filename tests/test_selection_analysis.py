@@ -77,6 +77,38 @@ class TestPlanSelector:
         selector.by_weighted_sum([0.25], {"fees": 1.0})
         assert len(selector._cache) == 1
 
+    def test_candidates_cache_bounded(self, result):
+        selector = PlanSelector(result, cache_size=4)
+        for x in np.linspace(0.05, 0.95, 20):
+            selector.by_weighted_sum([x], {"time": 1.0})
+        assert len(selector._cache) == 4
+        # The most recent point is retained and served from cache.
+        assert tuple(np.asarray([0.95]).tolist()) in selector._cache
+
+    def test_cache_can_be_disabled(self, result):
+        selector = PlanSelector(result, cache_size=0)
+        a = selector.by_weighted_sum([0.25], {"time": 1.0})
+        b = selector.by_weighted_sum([0.25], {"time": 1.0})
+        assert len(selector._cache) == 0
+        assert a.cost == b.cost
+
+    def test_impossible_bound_reports_per_metric_best(self, result):
+        selector = PlanSelector(result)
+        x = [0.5]
+        best_time = min(e.cost.evaluate(x)["time"]
+                        for e in result.plans_for(x))
+        best_fees = min(e.cost.evaluate(x)["fees"]
+                        for e in result.plans_for(x))
+        with pytest.raises(OptimizationError) as excinfo:
+            selector.by_bounded_metric(x, minimize="time",
+                                       bounds={"fees": 0.0,
+                                               "time": best_time * 2})
+        # Each bounded metric reports its own best-achievable value, not
+        # a minimum mixed across all bounded metrics.
+        message = str(excinfo.value)
+        assert f"fees: best achievable {best_fees:.4g}" in message
+        assert f"time: best achievable {best_time:.4g}" in message
+
 
 class TestCounterExamples:
     def test_figure4_pareto_sets(self):

@@ -1,0 +1,188 @@
+"""Tests for the batch optimization service (repro.service)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PWLRRPAOptions, PlanSelector, optimize_cloud_query
+from repro.query import QueryGenerator
+from repro.service import (BatchOptimizer, BatchOptions, WarmStartCache,
+                           query_signature)
+from repro.service import batch as batch_module
+
+
+def make_queries(count: int, num_tables: int = 3, seed: int = 0):
+    return [QueryGenerator(seed=seed + i).generate(num_tables, "chain", 1)
+            for i in range(count)]
+
+
+class TestQuerySignature:
+    def test_deterministic_and_regeneration_stable(self):
+        a = QueryGenerator(seed=5).generate(3, "chain", 1)
+        b = QueryGenerator(seed=5).generate(3, "chain", 1)
+        assert query_signature(a) == query_signature(b)
+
+    def test_sensitive_to_workload_and_config(self):
+        base = QueryGenerator(seed=5).generate(3, "chain", 1)
+        other = QueryGenerator(seed=6).generate(3, "chain", 1)
+        assert query_signature(base) != query_signature(other)
+        assert (query_signature(base, resolution=2)
+                != query_signature(base, resolution=3))
+        assert (query_signature(base)
+                != query_signature(base, options=PWLRRPAOptions(
+                    approximation_factor=0.1)))
+
+
+class TestBatchOrderingAndResults:
+    def test_results_in_input_order(self):
+        queries = make_queries(4)
+        items = BatchOptimizer(BatchOptions(workers=0)).optimize_batch(
+            queries)
+        assert [item.index for item in items] == [0, 1, 2, 3]
+        assert all(item.status == "ok" for item in items)
+        assert all(item.plan_set.entries for item in items)
+
+    def test_plan_sets_match_direct_optimization(self):
+        (query,) = make_queries(1)
+        (item,) = BatchOptimizer(BatchOptions(workers=0)).optimize_batch(
+            [query])
+        direct = optimize_cloud_query(query, resolution=2)
+        x = [0.5]
+        plan, cost = item.plan_set.select(x, {"time": 1.0, "fees": 0.5})
+        picked = PlanSelector(direct).by_weighted_sum(
+            x, {"time": 1.0, "fees": 0.5})
+        assert repr(plan) == repr(picked.plan)
+        assert cost == pytest.approx(picked.cost)
+
+    def test_process_pool_matches_serial(self):
+        queries = make_queries(3, num_tables=2)
+        serial = BatchOptimizer(BatchOptions(workers=0)).optimize_batch(
+            queries)
+        pooled = BatchOptimizer(BatchOptions(workers=2)).optimize_batch(
+            queries)
+        assert [i.index for i in pooled] == [0, 1, 2]
+        for a, b in zip(serial, pooled):
+            assert b.status == "ok"
+            assert len(a.plan_set.entries) == len(b.plan_set.entries)
+
+
+class TestErrorIsolation:
+    def test_one_failure_does_not_poison_the_batch(self, monkeypatch):
+        queries = make_queries(3)
+        real = batch_module._optimize_one
+
+        def flaky(payload):
+            if payload[0] == 1:
+                raise RuntimeError("injected worker failure")
+            return real(payload)
+
+        monkeypatch.setattr(batch_module, "_optimize_one", flaky)
+        items = BatchOptimizer(BatchOptions(workers=0)).optimize_batch(
+            queries)
+        assert [item.status for item in items] == ["ok", "error", "ok"]
+        assert "injected worker failure" in items[1].error
+        assert items[1].plan_set is None
+        assert items[0].ok and items[2].ok
+
+
+def _sleepy_leader(payload):
+    """Worker stub: query 0 stalls far past any test deadline.
+
+    Module-level so the process pool can pickle it (the forked workers
+    inherit the monkeypatched module state).
+    """
+    if payload[0] == 0:
+        import time as _time
+        _time.sleep(5.0)
+    return batch_module._real_optimize_one(payload)
+
+
+class TestTimeouts:
+    def test_deadline_isolates_slow_queries(self, monkeypatch):
+        import time
+
+        monkeypatch.setattr(batch_module, "_real_optimize_one",
+                            batch_module._optimize_one, raising=False)
+        monkeypatch.setattr(batch_module, "_optimize_one", _sleepy_leader)
+        queries = make_queries(2, num_tables=2)
+        optimizer = BatchOptimizer(BatchOptions(workers=2,
+                                                timeout_seconds=1.0))
+        started = time.monotonic()
+        items = optimizer.optimize_batch(queries)
+        elapsed = time.monotonic() - started
+        assert items[0].status == "timeout"
+        assert items[0].plan_set is None
+        assert items[1].status == "ok"
+        # The batch returns at the deadline instead of stalling on the
+        # abandoned worker (which keeps sleeping in the background).
+        assert elapsed < 4.0
+
+
+class TestWarmStartCache:
+    def test_hit_and_miss_accounting(self):
+        queries = make_queries(2)
+        optimizer = BatchOptimizer(BatchOptions(workers=0))
+        first = optimizer.optimize_batch(queries)
+        assert [i.status for i in first] == ["ok", "ok"]
+        assert optimizer.cache.hits == 0
+        second = optimizer.optimize_batch(queries)
+        assert [i.status for i in second] == ["cached", "cached"]
+        assert optimizer.cache.hits == 2
+        # Cached plan sets select identically to fresh ones.
+        for a, b in zip(first, second):
+            assert (a.plan_set.select([0.4], {"time": 1.0})[1]
+                    == b.plan_set.select([0.4], {"time": 1.0})[1])
+
+    def test_duplicates_within_one_batch_share_work(self):
+        (query,) = make_queries(1)
+        same = QueryGenerator(seed=0).generate(3, "chain", 1)
+        items = BatchOptimizer(BatchOptions(workers=0)).optimize_batch(
+            [query, same])
+        assert [i.status for i in items] == ["ok", "cached"]
+        assert items[1].ok
+
+    def test_warm_start_disabled(self):
+        queries = make_queries(1)
+        optimizer = BatchOptimizer(BatchOptions(workers=0,
+                                                warm_start=False))
+        optimizer.optimize_batch(queries)
+        items = optimizer.optimize_batch(queries)
+        assert items[0].status == "ok"
+        assert len(optimizer.cache) == 0
+
+    def test_lru_bound(self):
+        cache = WarmStartCache(maxsize=2)
+        for i in range(4):
+            cache.put(f"sig{i}", {"version": 1, "entries": []})
+        assert len(cache) == 2
+        assert cache.get("sig0") is None
+        assert cache.get("sig3") is not None
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        queries = make_queries(1)
+        sig = query_signature(queries[0])
+        (tmp_path / f"{sig}.json").write_text("{ not json")
+        optimizer = BatchOptimizer(BatchOptions(workers=0),
+                                   cache=WarmStartCache(directory=tmp_path))
+        items = optimizer.optimize_batch(queries)
+        # The damaged file neither fails the batch nor serves bad data.
+        assert items[0].status == "ok"
+        assert items[0].plan_set.entries
+
+    def test_undecodable_memory_entry_reoptimizes(self):
+        queries = make_queries(1)
+        optimizer = BatchOptimizer(BatchOptions(workers=0))
+        optimizer.cache.put(query_signature(queries[0]), {"version": 999})
+        items = optimizer.optimize_batch(queries)
+        assert items[0].status == "ok"
+
+    def test_directory_persistence(self, tmp_path):
+        queries = make_queries(1)
+        options = BatchOptions(workers=0)
+        first = BatchOptimizer(options,
+                               cache=WarmStartCache(directory=tmp_path))
+        assert first.optimize_batch(queries)[0].status == "ok"
+        # A fresh process/cache instance warm-starts from disk.
+        second = BatchOptimizer(options,
+                                cache=WarmStartCache(directory=tmp_path))
+        assert second.optimize_batch(queries)[0].status == "cached"
