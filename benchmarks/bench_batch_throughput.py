@@ -1,20 +1,31 @@
-"""Batch-engine throughput: queries/sec vs. workers vs. query size.
+"""Serving-layer throughput: batch, streaming, and pool-regime sweeps.
 
-The serving-layer benchmark the paper's Figure 12 harness has no notion
-of: a fixed list of distinct random queries is optimized by the
-:class:`repro.service.BatchOptimizer` at several worker counts, and
-sustained queries/second is reported per point.  On multi-core hardware
-the 4-worker point is expected to clear 2x the single-process baseline
-(PWL-RRPA is CPU-bound pure Python, so worker processes scale with
-physical cores; a single-core container shows no speedup).
+The paper's Figure 12 harness has no notion of a serving layer; this
+benchmark measures three aspects of it, under any registered scenario
+(``--scenario cloud`` / ``approx``):
+
+* **batch throughput** — a fixed list of distinct random queries is
+  optimized by an :class:`repro.api.OptimizerSession` at several worker
+  counts; sustained queries/second is reported per point.  On multi-core
+  hardware the 4-worker point is expected to clear 2x the single-process
+  baseline (PWL-RRPA is CPU-bound pure Python, so worker processes scale
+  with physical cores; a single-core container shows no speedup);
+* **pool regimes** — the same sequence of batches run with a fresh
+  session per batch (the legacy cold-pool regime that paid worker
+  start-up per batch) vs. one persistent session pool; both rates land
+  in the JSON report;
+* **streaming** (``--streaming``) — results consumed via
+  ``session.as_completed`` as they finish, additionally reporting
+  time-to-first-result.
 
 Run under pytest-benchmark::
 
     pytest benchmarks/bench_batch_throughput.py --benchmark-only
 
-or standalone (prints the speedup table, optionally dumps JSON)::
+or standalone (prints the tables, optionally dumps JSON)::
 
     python benchmarks/bench_batch_throughput.py --queries 8 --workers 1,2,4
+    python benchmarks/bench_batch_throughput.py --streaming --scenario approx
 """
 
 from __future__ import annotations
@@ -25,7 +36,9 @@ import os
 
 import pytest
 
-from repro.bench import (format_throughput_table, run_batch_throughput)
+from repro.bench import (format_pool_comparison, format_streaming_table,
+                         format_throughput_table, run_batch_throughput,
+                         run_pool_comparison, run_streaming_throughput)
 
 #: Tiny sweep used by the pytest entry points (CI smoke friendly).
 SMOKE_QUERIES = 4
@@ -45,20 +58,49 @@ def test_batch_throughput_chain(benchmark, workers):
     benchmark.extra_info.update(point.as_dict())
 
 
+@pytest.mark.parametrize("scenario", ["cloud", "approx"])
+def test_streaming_throughput(benchmark, scenario):
+    def run():
+        return run_streaming_throughput(
+            num_tables=SMOKE_TABLES, shape="chain",
+            num_queries=SMOKE_QUERIES, workers=0, scenario=scenario)
+
+    point = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert point.failures == 0
+    assert 0 < point.first_result_seconds <= point.seconds
+    benchmark.extra_info.update(point.as_dict())
+
+
+def test_persistent_pool_beats_or_matches_cold(benchmark):
+    """The persistent pool never pays more spawn overhead than cold."""
+    def run():
+        return run_pool_comparison(
+            num_tables=2, shape="chain", num_queries=2, workers=2,
+            batches=2)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_pool = {p.pool: p for p in points}
+    assert by_pool["cold"].failures == 0
+    assert by_pool["persistent"].failures == 0
+    benchmark.extra_info.update(
+        {p.pool: p.as_dict() for p in points})
+
+
 def test_batch_beats_or_matches_reoptimization(benchmark):
     """Warm-start sanity: a fully warm batch is near-instant."""
+    from repro.api import OptimizerSession
     from repro.query import QueryGenerator
-    from repro.service import BatchOptimizer, BatchOptions
 
     queries = [QueryGenerator(seed=s).generate(SMOKE_TABLES, "chain", 1)
                for s in range(SMOKE_QUERIES)]
-    optimizer = BatchOptimizer(BatchOptions(workers=0))
-    optimizer.optimize_batch(queries)  # populate the warm-start cache
+    session = OptimizerSession("cloud", workers=0)
+    session.map(queries)  # populate the warm-start cache
 
     def warm():
-        return optimizer.optimize_batch(queries)
+        return session.map(queries)
 
     items = benchmark.pedantic(warm, rounds=1, iterations=1)
+    session.close()
     assert all(item.status == "cached" for item in items)
 
 
@@ -76,25 +118,57 @@ def main() -> None:
                         help="query sizes (tables per query) to sweep")
     parser.add_argument("--shape", default="chain",
                         choices=("chain", "star", "cycle", "clique"))
+    parser.add_argument("--scenario", default="cloud",
+                        help="registered scenario to optimize under "
+                             "(e.g. cloud, approx)")
     parser.add_argument("--queries", type=int, default=8,
                         help="distinct queries per sweep point")
     parser.add_argument("--workers", default=(1, 2, 4),
                         type=_workers_list,
                         help="comma-separated worker counts")
+    parser.add_argument("--batches", type=int, default=2,
+                        help="batches for the cold-vs-persistent pool "
+                             "comparison")
+    parser.add_argument("--streaming", action="store_true",
+                        help="measure streaming (as_completed) throughput "
+                             "instead of batch mode")
     parser.add_argument("--json", dest="json_path", default=None,
-                        help="write raw points as JSON to this path")
+                        help="write the full report as JSON to this path")
     args = parser.parse_args()
     workers = args.workers
 
-    points = []
-    for num_tables in args.tables:
-        points.extend(run_batch_throughput(
-            num_tables=num_tables, shape=args.shape,
-            num_queries=args.queries, workers_list=workers))
-    print(format_throughput_table(points))
+    report: dict = {"scenario": args.scenario, "shape": args.shape}
+    if args.streaming:
+        points = [
+            run_streaming_throughput(
+                num_tables=num_tables, shape=args.shape,
+                num_queries=args.queries, workers=w,
+                scenario=args.scenario)
+            for num_tables in args.tables for w in workers]
+        print(format_streaming_table(points))
+        report["streaming"] = [p.as_dict() for p in points]
+    else:
+        points = []
+        for num_tables in args.tables:
+            points.extend(run_batch_throughput(
+                num_tables=num_tables, shape=args.shape,
+                num_queries=args.queries, workers_list=workers,
+                scenario=args.scenario))
+        print(format_throughput_table(points))
+        report["throughput"] = [p.as_dict() for p in points]
+        pool_workers = max(workers)
+        if pool_workers > 1:
+            comparison = run_pool_comparison(
+                num_tables=min(args.tables), shape=args.shape,
+                num_queries=args.queries, workers=pool_workers,
+                batches=args.batches, scenario=args.scenario)
+            print()
+            print(format_pool_comparison(comparison))
+            report["pool_comparison"] = [p.as_dict() for p in comparison]
+
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as handle:
-            json.dump([p.as_dict() for p in points], handle, indent=2)
+            json.dump(report, handle, indent=2)
         print(f"\nwrote {os.path.abspath(args.json_path)}")
 
 

@@ -17,7 +17,7 @@ import pytest
 
 from repro.bench import SweepPoint, queries_for_point
 from repro.cloud import CloudCostModel
-from repro.core import optimize_cloud_query
+from repro.api import optimize_query
 from repro.lp import LinearProgramSolver, LPStats
 from repro.plans import (PARALLEL_HASH_JOIN, SINGLE_NODE_HASH_JOIN,
                          ScanPlan, combine)
@@ -56,7 +56,7 @@ def test_full_two_table_optimization(benchmark, two_table_setup):
     """Figure 7 end-to-end: both plans generated, RRs shaped correctly."""
     query, __, __, __ = two_table_setup
     result = benchmark.pedantic(
-        lambda: optimize_cloud_query(query, resolution=2),
+        lambda: optimize_query(query, "cloud", resolution=2),
         rounds=1, iterations=1)
     assert result.entries
     # Every surviving parallel-join plan must be irrelevant for at least

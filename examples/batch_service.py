@@ -3,12 +3,14 @@
 The paper's workflow (Figure 2) optimizes one MPQ instance at a time; this
 example drives the serving layer built on top of it:
 
-1. A mixed batch of random queries is optimized by the
-   :class:`repro.service.BatchOptimizer` — across worker processes when
+1. A mixed batch of random queries is optimized through one
+   :class:`repro.api.OptimizerSession` — across worker processes when
    ``--workers`` > 1, with per-query error isolation either way.
-2. Results come back in input order as run-time-selectable plan sets.
-3. Repeated query shapes are answered from the warm-start cache without
-   touching the optimizer (the second batch below is entirely warm).
+2. ``session.map`` returns results in input order as
+   run-time-selectable plan sets.
+3. Repeated query shapes are answered from the session's warm-start
+   cache without touching the optimizer (the second batch below is
+   entirely warm), and the worker pool persists across both batches.
 
 Run with::
 
@@ -19,8 +21,8 @@ import argparse
 import time
 
 from repro import QueryGenerator
+from repro.api import OptimizerSession
 from repro.plans import one_line
-from repro.service import BatchOptimizer, BatchOptions
 
 
 def main() -> None:
@@ -34,29 +36,30 @@ def main() -> None:
                for s, shape in enumerate(("chain", "star", "chain",
                                           "star"))]
 
-    optimizer = BatchOptimizer(BatchOptions(workers=args.workers))
+    with OptimizerSession("cloud", workers=args.workers) as session:
+        started = time.perf_counter()
+        items = session.map(queries)
+        cold = time.perf_counter() - started
+        print(f"Cold batch: {len(items)} queries in {cold:.2f}s "
+              f"({len(items) / cold:.1f} q/s, workers={args.workers})\n")
 
-    started = time.perf_counter()
-    items = optimizer.optimize_batch(queries)
-    cold = time.perf_counter() - started
-    print(f"Cold batch: {len(items)} queries in {cold:.2f}s "
-          f"({len(items) / cold:.1f} q/s, workers={args.workers})\n")
+        x = [0.4]
+        for item in items:
+            plan, cost = item.plan_set.select(x, {"time": 1.0,
+                                                  "fees": 0.5})
+            print(f"  #{item.index} [{item.status}] "
+                  f"{len(item.plan_set.entries)} Pareto plans; "
+                  f"picked time={cost['time']:.4f}h "
+                  f"fees=${cost['fees']:.4f} {one_line(plan)}")
 
-    x = [0.4]
-    for item in items:
-        plan, cost = item.plan_set.select(x, {"time": 1.0, "fees": 0.5})
-        print(f"  #{item.index} [{item.status}] "
-              f"{len(item.plan_set.entries)} Pareto plans; "
-              f"picked time={cost['time']:.4f}h fees=${cost['fees']:.4f} "
-              f"{one_line(plan)}")
-
-    started = time.perf_counter()
-    warm_items = optimizer.optimize_batch(queries)
-    warm = time.perf_counter() - started
-    statuses = {item.status for item in warm_items}
-    print(f"\nWarm batch: {len(warm_items)} queries in {warm:.3f}s "
-          f"(statuses: {sorted(statuses)}; "
-          f"cache hits={optimizer.cache.hits})")
+        started = time.perf_counter()
+        warm_items = session.map(queries)
+        warm = time.perf_counter() - started
+        statuses = {item.status for item in warm_items}
+        print(f"\nWarm batch: {len(warm_items)} queries in {warm:.3f}s "
+              f"(statuses: {sorted(statuses)}; "
+              f"cache hits={session.cache.hits}; "
+              f"pool spawns={session.pool_spawns})")
 
 
 if __name__ == "__main__":

@@ -23,7 +23,8 @@ Run with::
 
 import numpy as np
 
-from repro import PlanSelector, QueryGenerator, optimize_cloud_query
+from repro import PlanSelector, QueryGenerator
+from repro.api import optimize_query
 from repro.errors import OptimizationError
 from repro.plans import one_line
 
@@ -35,7 +36,7 @@ def part_a_figure7() -> None:
     print("=" * 64)
     query = QueryGenerator(seed=3).generate(num_tables=2, shape="chain",
                                             num_params=1)
-    result = optimize_cloud_query(query, resolution=2)
+    result = optimize_query(query, "cloud", resolution=2)
 
     parallel_entries = [
         entry for entry in result.entries
@@ -60,7 +61,7 @@ def part_b_web_interface() -> None:
     print("=" * 64)
     query = QueryGenerator(seed=11).generate(num_tables=5, shape="chain",
                                              num_params=1)
-    result = optimize_cloud_query(query, resolution=2)
+    result = optimize_query(query, "cloud", resolution=2)
     selector = PlanSelector(result)
 
     for selectivity in (0.05, 0.5, 0.95):

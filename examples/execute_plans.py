@@ -11,7 +11,8 @@ Run with::
     python examples/execute_plans.py
 """
 
-from repro import PlanSelector, QueryGenerator, optimize_cloud_query
+from repro import PlanSelector, QueryGenerator
+from repro.api import optimize_query
 from repro.engine import Executor, generate_database
 from repro.plans import one_line
 
@@ -25,7 +26,7 @@ def main() -> None:
     for name in query.tables:
         print(f"  {name}: {database.table(name).num_rows} rows")
 
-    result = optimize_cloud_query(query, resolution=2)
+    result = optimize_query(query, "cloud", resolution=2)
     selector = PlanSelector(result)
     print(f"\nPWL-RRPA kept {len(result.entries)} Pareto plans.\n")
 

@@ -11,7 +11,8 @@ Run with::
     python examples/plan_diagrams.py
 """
 
-from repro import QueryGenerator, optimize_cloud_query
+from repro import QueryGenerator
+from repro.api import optimize_query
 from repro.analysis import compute_diagram, render_diagram
 
 
@@ -21,7 +22,7 @@ def main() -> None:
     print("=" * 64)
     query = QueryGenerator(seed=37).generate(num_tables=4, shape="chain",
                                              num_params=1)
-    result = optimize_cloud_query(query, resolution=2)
+    result = optimize_query(query, "cloud", resolution=2)
     diagram = compute_diagram(result, points_per_axis=61)
     print(render_diagram(diagram))
 
@@ -41,7 +42,7 @@ def main() -> None:
     print("=" * 64)
     query2 = QueryGenerator(seed=38).generate(num_tables=3, shape="chain",
                                               num_params=2)
-    result2 = optimize_cloud_query(query2, resolution=1)
+    result2 = optimize_query(query2, "cloud", resolution=1)
     diagram2 = compute_diagram(result2, points_per_axis=25)
     print(render_diagram(diagram2))
 

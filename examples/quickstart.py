@@ -12,7 +12,8 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import PlanSelector, QueryGenerator, optimize_cloud_query
+from repro import PlanSelector, QueryGenerator
+from repro.api import optimize_query
 from repro.plans import one_line, render_plan
 
 
@@ -26,7 +27,7 @@ def main() -> None:
           f"{query.num_params} parameter(s)\n")
 
     # Preprocessing: compute the Pareto plan set once.
-    result = optimize_cloud_query(query, resolution=2)
+    result = optimize_query(query, "cloud", resolution=2)
     stats = result.stats
     print(f"PWL-RRPA finished in {stats.optimization_seconds:.2f}s: "
           f"{len(result.entries)} Pareto plans "

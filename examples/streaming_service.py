@@ -1,0 +1,72 @@
+"""Streaming service: one session, results as they finish, two scenarios.
+
+The unified :class:`repro.api.OptimizerSession` is the single front door
+for optimization.  This example drives its three submission surfaces:
+
+1. ``session.as_completed(queries)`` streams :class:`BatchItem`s in
+   completion order — a consumer can act on the first plan set while the
+   rest of the workload is still optimizing.
+2. ``session.submit(query)`` returns a future for one query.
+3. A second session optimizes under the ``"approx"`` scenario
+   (time vs. precision loss) resolved through the scenario registry —
+   no cloud-specific glue anywhere.
+
+Run with::
+
+    python examples/streaming_service.py [--workers 4]
+"""
+
+import argparse
+import time
+
+from repro import QueryGenerator
+from repro.api import OptimizerSession, available_scenarios
+from repro.plans import one_line
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes (0 = in-process serial)")
+    args = parser.parse_args()
+
+    queries = [QueryGenerator(seed=s).generate(num_tables=3, shape=shape,
+                                               num_params=1)
+               for s, shape in enumerate(("chain", "star", "chain",
+                                          "star"))]
+
+    print(f"Registered scenarios: {', '.join(available_scenarios())}\n")
+
+    with OptimizerSession("cloud", workers=args.workers) as session:
+        print(f"Streaming {len(queries)} queries "
+              f"(workers={args.workers}):")
+        started = time.perf_counter()
+        for item in session.as_completed(queries):
+            elapsed = time.perf_counter() - started
+            plan, cost = item.plan_set.select([0.4], {"time": 1.0,
+                                                      "fees": 0.5})
+            print(f"  +{elapsed:6.2f}s  #{item.index} [{item.status}] "
+                  f"{len(item.plan_set.entries)} Pareto plans; "
+                  f"time={cost['time']:.4f}h fees=${cost['fees']:.4f}")
+
+        # Async single-query submission: the future resolves to an item.
+        future = session.submit(queries[0])
+        item = future.result()
+        print(f"\nsubmit() future resolved: [{item.status}] "
+              f"{one_line(item.plan_set.select([0.4], {'time': 1.0})[0])}")
+        print(f"Pool spawns this session: {session.pool_spawns} "
+              f"(the pool persists across calls)")
+
+    # Same session API, different cost-model workload: one registry name.
+    with OptimizerSession("approx", workers=0) as session:
+        item = session.optimize(queries[0])
+        plan, cost = item.plan_set.select(
+            [0.5], {"time": 1.0, "precision_loss": 0.2})
+        print(f"\napprox scenario: [{item.status}] "
+              f"time={cost['time']:.4f}h "
+              f"precision_loss={cost['precision_loss']:.2f} "
+              f"{one_line(plan)}")
+
+
+if __name__ == "__main__":
+    main()

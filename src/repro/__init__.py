@@ -4,21 +4,25 @@ A complete reproduction of Trummer & Koch, "Multi-Objective Parametric
 Query Optimization" (VLDB 2014): the generic Relevance Region Pruning
 Algorithm (RRPA), its piecewise-linear specialization PWL-RRPA, the Cloud
 cost-model scenario the paper evaluates, classical/multi-objective/
-parametric baselines, and the full experimental harness for Figure 12.
+parametric baselines, and the full experimental harness for Figure 12 —
+wrapped in a session-level serving API (:mod:`repro.api`).
 
 Quickstart::
 
-    from repro import QueryGenerator, optimize_cloud_query, PlanSelector
+    from repro import QueryGenerator
+    from repro.api import OptimizerSession
 
-    query = QueryGenerator(seed=1).generate(num_tables=4, shape="chain",
-                                            num_params=1)
-    result = optimize_cloud_query(query)
-    selector = PlanSelector(result)
-    best = selector.by_weighted_sum(x=[0.4], weights={"time": 1.0,
+    queries = [QueryGenerator(seed=s).generate(num_tables=4,
+                                               shape="chain", num_params=1)
+               for s in range(4)]
+    with OptimizerSession("cloud", workers=0) as session:
+        for item in session.as_completed(queries):
+            plan, cost = item.plan_set.select([0.4], {"time": 1.0,
                                                       "fees": 0.5})
-    print(best.plan, best.cost)
+            print(item.index, item.status, plan, cost)
 """
 
+from .api import optimize_query
 from .catalog import Catalog, Column, Index, Table
 from .cloud import CloudCostModel, ClusterSpec, PricingModel
 from .core import (GridBackend, OptimizationResult, OptimizerStats,
@@ -36,9 +40,11 @@ from .plans import (JoinOperator, JoinPlan, Plan, ScanOperator, ScanPlan,
 from .query import (JoinGraph, JoinPredicate, ParametricPredicate, Query,
                     QueryGenerator)
 from .service import (BatchItem, BatchOptimizer, BatchOptions,
-                      WarmStartCache, query_signature)
+                      OptimizerSession, Scenario, ScenarioRegistry,
+                      WarmStartCache, available_scenarios, get_scenario,
+                      query_signature, register_scenario)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "APPROX_METRICS",
@@ -64,6 +70,7 @@ __all__ = [
     "LinearProgramSolver",
     "MultiObjectivePWL",
     "OptimizationResult",
+    "OptimizerSession",
     "OptimizerStats",
     "PWLBackend",
     "PWLRRPA",
@@ -81,17 +88,23 @@ __all__ = [
     "RRPABackend",
     "RelevanceRegion",
     "ReproError",
+    "Scenario",
+    "ScenarioRegistry",
     "ScanOperator",
     "ScanPlan",
     "SelectedPlan",
     "SharedPartition",
     "Table",
     "WarmStartCache",
+    "available_scenarios",
     "combine",
+    "get_scenario",
     "make_grid",
     "one_line",
     "optimize_cloud_query",
+    "optimize_query",
     "optimize_with",
     "query_signature",
+    "register_scenario",
     "render_plan",
 ]

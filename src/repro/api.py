@@ -1,0 +1,73 @@
+"""repro.api — the session-level front door for all optimization.
+
+One import gives a serving process everything it needs::
+
+    from repro.api import OptimizerSession
+
+    with OptimizerSession("cloud", workers=4) as session:
+        # Deterministic batch (input order), like the legacy engine:
+        items = session.map(queries)
+        # Streaming: results as they finish.
+        for item in session.as_completed(more_queries):
+            handle(item)
+        # Async: one query, one future.
+        future = session.submit(query)
+
+The session owns a persistent worker pool (spawned lazily, reused across
+calls, closed with the session), session-scoped caches (warm-start plan
+sets and the LP-result memo, shipped to workers), and resolves cost-model
+workloads through the scenario registry — ``"cloud"`` and ``"approx"``
+are built in, and :func:`register_scenario` adds new ones in one call.
+
+For one-off scripts, :func:`optimize_query` optimizes a single query
+under a named scenario without session ceremony.
+"""
+
+from __future__ import annotations
+
+from .core import OptimizationResult, PWLRRPAOptions
+from .query import Query
+from .service.cache import WarmStartCache
+from .service.registry import (Scenario, ScenarioRegistry,
+                               available_scenarios, default_registry,
+                               get_scenario, register_scenario)
+from .service.session import STATUSES, BatchItem, OptimizerSession
+from .service.signature import query_signature, signature_document
+
+__all__ = [
+    "STATUSES",
+    "BatchItem",
+    "OptimizerSession",
+    "PWLRRPAOptions",
+    "Scenario",
+    "ScenarioRegistry",
+    "WarmStartCache",
+    "available_scenarios",
+    "default_registry",
+    "get_scenario",
+    "optimize_query",
+    "query_signature",
+    "register_scenario",
+    "signature_document",
+]
+
+
+def optimize_query(query: Query, scenario: str = "cloud", *,
+                   resolution: int = 2,
+                   options: PWLRRPAOptions | None = None
+                   ) -> OptimizationResult:
+    """Optimize one query under a named scenario (no session, no pool).
+
+    This is the registry-routed replacement for the deprecated
+    ``optimize_cloud_query``; ``optimize_query(q)`` returns bit-identical
+    results to it.
+
+    Args:
+        query: The query to optimize.
+        scenario: Registered scenario name (``"cloud"``, ``"approx"``,
+            or a custom registration).
+        resolution: PWL grid resolution of the cost model.
+        options: Backend options.
+    """
+    return get_scenario(scenario).optimize(query, resolution=resolution,
+                                           options=options)

@@ -1,11 +1,14 @@
-"""Experimental harness: workloads, sweep runner, Figure 12 + throughput
-reporting."""
+"""Experimental harness: workloads, sweep runner, Figure 12 + serving
+(batch, streaming, pool-regime) reporting."""
 
 from .reporting import (ascii_log_chart, figure12_report,
+                        format_pool_comparison, format_streaming_table,
                         format_throughput_table, format_table)
 from .runner import (PAPER_FAITHFUL, AggregatedPoint, Measurement,
-                     ThroughputPoint, run_batch_throughput, run_point,
-                     run_query_measurement, run_sweep)
+                     StreamingPoint, ThroughputPoint,
+                     run_batch_throughput, run_point, run_pool_comparison,
+                     run_query_measurement, run_streaming_throughput,
+                     run_sweep)
 from .workloads import (FULL, QUICK, SweepPoint, SweepProfile,
                         queries_for_point, sweep_points)
 
@@ -15,17 +18,22 @@ __all__ = [
     "QUICK",
     "AggregatedPoint",
     "Measurement",
+    "StreamingPoint",
     "SweepPoint",
     "SweepProfile",
     "ThroughputPoint",
     "ascii_log_chart",
     "figure12_report",
+    "format_pool_comparison",
+    "format_streaming_table",
     "format_table",
     "format_throughput_table",
     "queries_for_point",
     "run_batch_throughput",
     "run_point",
+    "run_pool_comparison",
     "run_query_measurement",
+    "run_streaming_throughput",
     "run_sweep",
     "sweep_points",
 ]

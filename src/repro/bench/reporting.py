@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from .runner import AggregatedPoint, ThroughputPoint
+from .runner import AggregatedPoint, StreamingPoint, ThroughputPoint
 
 
 def format_table(points: Sequence[AggregatedPoint]) -> str:
@@ -29,27 +29,61 @@ def format_table(points: Sequence[AggregatedPoint]) -> str:
 
 
 def format_throughput_table(points: Sequence[ThroughputPoint]) -> str:
-    """Render batch-throughput points with speedup over the serial row.
+    """Render batch-throughput points with speedup over the baseline row.
 
-    Speedup is computed per (shape, table-count) workload relative to the
-    smallest worker count measured for it (normally the single-process
-    baseline).
+    Speedup is computed per (scenario, shape, table-count, pool regime)
+    workload relative to the smallest worker count measured for it
+    (normally the single-process baseline).
     """
-    baseline: dict[tuple[str, int], ThroughputPoint] = {}
+    baseline: dict[tuple, ThroughputPoint] = {}
     for tp in points:
-        key = (tp.shape, tp.num_tables)
+        key = (tp.scenario, tp.shape, tp.num_tables, tp.pool)
         if key not in baseline or tp.workers < baseline[key].workers:
             baseline[key] = tp
-    header = (f"{'shape':>6} {'tables':>6} {'queries':>8} {'workers':>8} "
-              f"{'time[s]':>10} {'qps':>8} {'speedup':>8} {'fail':>5}")
+    header = (f"{'scenario':>8} {'shape':>6} {'tables':>6} {'pool':>10} "
+              f"{'queries':>8} {'workers':>8} {'time[s]':>10} {'qps':>8} "
+              f"{'speedup':>8} {'fail':>5}")
     lines = [header, "-" * len(header)]
     for tp in points:
-        base = baseline[(tp.shape, tp.num_tables)]
+        base = baseline[(tp.scenario, tp.shape, tp.num_tables, tp.pool)]
         speedup = tp.qps / base.qps if base.qps > 0 else float("nan")
         lines.append(
-            f"{tp.shape:>6} {tp.num_tables:>6} {tp.queries:>8} "
-            f"{tp.workers:>8} {tp.seconds:>10.3f} {tp.qps:>8.2f} "
+            f"{tp.scenario:>8} {tp.shape:>6} {tp.num_tables:>6} "
+            f"{tp.pool:>10} {tp.queries:>8} {tp.workers:>8} "
+            f"{tp.seconds:>10.3f} {tp.qps:>8.2f} "
             f"{speedup:>7.2f}x {tp.failures:>5}")
+    return "\n".join(lines)
+
+
+def format_pool_comparison(points: Sequence[ThroughputPoint]) -> str:
+    """Render cold-vs-persistent pool points with the persistent gain."""
+    cold = {(tp.scenario, tp.shape, tp.num_tables, tp.workers): tp
+            for tp in points if tp.pool == "cold"}
+    lines = [format_throughput_table(points)]
+    for tp in points:
+        if tp.pool != "persistent":
+            continue
+        base = cold.get((tp.scenario, tp.shape, tp.num_tables, tp.workers))
+        if base is not None and tp.qps > 0:
+            lines.append(
+                f"persistent pool vs cold ({tp.scenario}, {tp.shape}, "
+                f"{tp.num_tables} tables, {tp.workers} workers): "
+                f"{tp.qps / base.qps:.2f}x qps")
+    return "\n".join(lines)
+
+
+def format_streaming_table(points: Sequence[StreamingPoint]) -> str:
+    """Render streaming-throughput points (with time-to-first-result)."""
+    header = (f"{'scenario':>8} {'shape':>6} {'tables':>6} {'queries':>8} "
+              f"{'workers':>8} {'time[s]':>10} {'first[s]':>9} "
+              f"{'qps':>8} {'fail':>5}")
+    lines = [header, "-" * len(header)]
+    for sp in points:
+        lines.append(
+            f"{sp.scenario:>8} {sp.shape:>6} {sp.num_tables:>6} "
+            f"{sp.queries:>8} {sp.workers:>8} {sp.seconds:>10.3f} "
+            f"{sp.first_result_seconds:>9.3f} {sp.qps:>8.2f} "
+            f"{sp.failures:>5}")
     return "\n".join(lines)
 
 

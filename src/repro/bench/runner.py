@@ -6,10 +6,17 @@ plans, #solved LPs), and aggregates medians per sweep point exactly as the
 paper does ("Each data point corresponds to the median of 25 randomly
 generated test cases").
 
-:func:`run_batch_throughput` extends the harness beyond the paper: it
-sweeps the batch optimization engine of :mod:`repro.service` over worker
-counts and query sizes and reports sustained queries/second, the serving
-measurement the Figure 12 harness has no notion of.
+Three serving benchmarks extend the harness beyond the paper — all three
+run any registered scenario (``--scenario cloud`` / ``approx`` / custom):
+
+* :func:`run_batch_throughput` sweeps batched optimization over worker
+  counts and query sizes, reporting sustained queries/second;
+* :func:`run_streaming_throughput` drives
+  :meth:`repro.api.OptimizerSession.as_completed` and additionally
+  reports time-to-first-result, the latency a streaming consumer sees;
+* :func:`run_pool_comparison` pits the legacy cold-pool regime (spawn and
+  tear down workers per batch) against one persistent session pool over
+  the same sequence of batches.
 """
 
 from __future__ import annotations
@@ -136,6 +143,10 @@ class ThroughputPoint:
         seconds: Wall-clock time for the whole batch.
         qps: Sustained queries per second (``queries / seconds``).
         failures: Items that did not produce a plan set.
+        scenario: Scenario the workload was optimized under.
+        pool: Pool regime — ``"cold"`` spawns and tears down workers per
+            batch (the legacy engine), ``"persistent"`` reuses one
+            session pool across batches.
     """
 
     workers: int
@@ -145,13 +156,25 @@ class ThroughputPoint:
     seconds: float
     qps: float
     failures: int
+    scenario: str = "cloud"
+    pool: str = "cold"
 
     def as_dict(self) -> dict:
         """JSON-ready representation (used by the CI bench artifact)."""
         return {"workers": self.workers, "num_tables": self.num_tables,
                 "shape": self.shape, "queries": self.queries,
                 "seconds": self.seconds, "qps": self.qps,
-                "failures": self.failures}
+                "failures": self.failures, "scenario": self.scenario,
+                "pool": self.pool}
+
+
+def _workload(num_tables: int, shape: str, num_queries: int,
+              base_seed: int) -> list:
+    from ..query import QueryGenerator
+    return [
+        QueryGenerator(seed=base_seed + i).generate(
+            num_tables=num_tables, shape=shape, num_params=1)
+        for i in range(num_queries)]
 
 
 def run_batch_throughput(num_tables: int = 4, shape: str = "chain",
@@ -159,42 +182,172 @@ def run_batch_throughput(num_tables: int = 4, shape: str = "chain",
                          workers_list: tuple[int, ...] = (1, 2, 4),
                          resolution: int = 2,
                          options: PWLRRPAOptions | None = None,
-                         base_seed: int = 0) -> list[ThroughputPoint]:
-    """Measure batch-engine throughput across worker counts.
+                         base_seed: int = 0,
+                         scenario: str = "cloud") -> list[ThroughputPoint]:
+    """Measure batch throughput across worker counts.
 
     Every worker count optimizes the *same* list of distinct random
-    queries (fresh :class:`repro.service.BatchOptimizer` each, with
-    warm-start disabled) so points differ only in parallelism.
+    queries (a fresh :class:`repro.api.OptimizerSession` each, closed
+    after the batch, with warm-start disabled) so points differ only in
+    parallelism.
 
     Args:
         num_tables: Tables per generated query.
         shape: Join graph shape.
         num_queries: Distinct queries per point.
-        workers_list: Worker counts to sweep (``1`` is the single-process
-            baseline).
+        workers_list: Worker counts to sweep (``<= 1`` is the
+            single-process baseline).
         resolution: Cost-model PWL resolution.
         options: Backend options for every optimization.
         base_seed: Seed offset for query generation.
+        scenario: Registered scenario name to optimize under.
     """
-    from ..query import QueryGenerator
-    from ..service import BatchOptimizer, BatchOptions
+    from ..service import OptimizerSession
 
-    queries = [
-        QueryGenerator(seed=base_seed + i).generate(
-            num_tables=num_tables, shape=shape, num_params=1)
-        for i in range(num_queries)]
+    queries = _workload(num_tables, shape, num_queries, base_seed)
     points = []
     for workers in workers_list:
-        optimizer = BatchOptimizer(BatchOptions(
-            workers=workers, resolution=resolution, rrpa_options=options,
-            warm_start=False))
-        started = time.perf_counter()
-        items = optimizer.optimize_batch(queries)
-        seconds = time.perf_counter() - started
+        with OptimizerSession(scenario, workers=workers,
+                              resolution=resolution, options=options,
+                              warm_start=False) as session:
+            started = time.perf_counter()
+            items = session.map(queries)
+            seconds = time.perf_counter() - started
         failures = sum(1 for item in items if not item.ok)
         points.append(ThroughputPoint(
             workers=workers, num_tables=num_tables, shape=shape,
             queries=len(queries), seconds=seconds,
             qps=len(queries) / seconds if seconds > 0 else float("inf"),
-            failures=failures))
+            failures=failures, scenario=scenario))
+    return points
+
+
+@dataclass(frozen=True)
+class StreamingPoint:
+    """Streaming-mode throughput of one session at one configuration.
+
+    Attributes:
+        workers: Worker processes (``<= 1`` means in-process serial).
+        num_tables: Tables per query.
+        shape: Join graph shape of the workload.
+        scenario: Scenario the workload was optimized under.
+        queries: Number of distinct queries streamed.
+        seconds: Wall clock from submission to the last yielded result.
+        first_result_seconds: Wall clock until the *first* result was
+            yielded — the latency a streaming consumer sees.
+        qps: Sustained queries per second.
+        failures: Items that did not produce a plan set.
+    """
+
+    workers: int
+    num_tables: int
+    shape: str
+    scenario: str
+    queries: int
+    seconds: float
+    first_result_seconds: float
+    qps: float
+    failures: int
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (used by the CI bench artifact)."""
+        return {"workers": self.workers, "num_tables": self.num_tables,
+                "shape": self.shape, "scenario": self.scenario,
+                "queries": self.queries, "seconds": self.seconds,
+                "first_result_seconds": self.first_result_seconds,
+                "qps": self.qps, "failures": self.failures}
+
+
+def run_streaming_throughput(num_tables: int = 4, shape: str = "chain",
+                             num_queries: int = 8, workers: int = 0,
+                             resolution: int = 2,
+                             options: PWLRRPAOptions | None = None,
+                             base_seed: int = 0,
+                             scenario: str = "cloud") -> StreamingPoint:
+    """Measure streaming throughput of ``OptimizerSession.as_completed``.
+
+    Results are consumed as they finish; besides queries/second the
+    point records the time until the first result arrived, which batch
+    mode cannot improve on (it holds everything until the batch ends).
+    """
+    from ..service import OptimizerSession
+
+    queries = _workload(num_tables, shape, num_queries, base_seed)
+    failures = 0
+    first = None
+    with OptimizerSession(scenario, workers=workers,
+                          resolution=resolution, options=options,
+                          warm_start=False) as session:
+        started = time.perf_counter()
+        for item in session.as_completed(queries):
+            if first is None:
+                first = time.perf_counter() - started
+            if not item.ok:
+                failures += 1
+        seconds = time.perf_counter() - started
+    return StreamingPoint(
+        workers=workers, num_tables=num_tables, shape=shape,
+        scenario=scenario, queries=len(queries), seconds=seconds,
+        first_result_seconds=first if first is not None else seconds,
+        qps=len(queries) / seconds if seconds > 0 else float("inf"),
+        failures=failures)
+
+
+def run_pool_comparison(num_tables: int = 3, shape: str = "chain",
+                        num_queries: int = 4, workers: int = 2,
+                        batches: int = 2, resolution: int = 2,
+                        options: PWLRRPAOptions | None = None,
+                        base_seed: int = 0,
+                        scenario: str = "cloud") -> list[ThroughputPoint]:
+    """Cold-pool (legacy) vs. persistent-pool (session) queries/sec.
+
+    The same sequence of ``batches`` distinct-query batches is optimized
+    twice: once with a fresh session per batch (every batch pays worker
+    spawn and teardown, the legacy ``BatchOptimizer`` regime) and once
+    with a single session kept open across all batches.  Both regimes
+    disable the session-scoped LP memo (``lp_memo_size=0``) so the
+    measured difference isolates pool spawn/teardown overhead instead of
+    conflating it with cross-batch LP-memo hits only the persistent
+    workers could accumulate.  Returns one aggregate
+    :class:`ThroughputPoint` per regime (``pool="cold"`` /
+    ``"persistent"``).
+    """
+    from ..service import OptimizerSession
+
+    batched = [
+        _workload(num_tables, shape, num_queries,
+                  base_seed + batch * num_queries)
+        for batch in range(batches)]
+    points = []
+
+    started = time.perf_counter()
+    failures = 0
+    for queries in batched:  # legacy regime: one pool per batch
+        with OptimizerSession(scenario, workers=workers,
+                              resolution=resolution, options=options,
+                              warm_start=False, lp_memo_size=0) as session:
+            failures += sum(1 for item in session.map(queries)
+                            if not item.ok)
+    seconds = time.perf_counter() - started
+    total = num_queries * batches
+    points.append(ThroughputPoint(
+        workers=workers, num_tables=num_tables, shape=shape,
+        queries=total, seconds=seconds,
+        qps=total / seconds if seconds > 0 else float("inf"),
+        failures=failures, scenario=scenario, pool="cold"))
+
+    started = time.perf_counter()
+    failures = 0
+    with OptimizerSession(scenario, workers=workers,
+                          resolution=resolution, options=options,
+                          warm_start=False, lp_memo_size=0) as session:
+        for queries in batched:  # one pool across every batch
+            failures += sum(1 for item in session.map(queries)
+                            if not item.ok)
+    seconds = time.perf_counter() - started
+    points.append(ThroughputPoint(
+        workers=workers, num_tables=num_tables, shape=shape,
+        queries=total, seconds=seconds,
+        qps=total / seconds if seconds > 0 else float("inf"),
+        failures=failures, scenario=scenario, pool="persistent"))
     return points

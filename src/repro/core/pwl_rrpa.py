@@ -1,11 +1,19 @@
 """PWL-RRPA: the paper's algorithm for piecewise-linear MPQ (Section 6).
 
-:class:`PWLRRPA` wires the generic RRPA loop to the PWL backend and a cost
-model, producing Pareto plan sets with relevance mappings for PWL-MPQ
-problem instances.  It is the optimizer evaluated in Section 7 / Figure 12.
+:class:`PWLRRPA` wires the generic RRPA loop to a backend (by default the
+PWL backend) and a cost model, producing Pareto plan sets with relevance
+mappings for PWL-MPQ problem instances.  It is the optimizer evaluated in
+Section 7 / Figure 12.
+
+The module-level :func:`optimize_cloud_query` predates the scenario
+registry (:mod:`repro.service.registry`) and is kept as a deprecated shim;
+new code should go through :class:`repro.api.OptimizerSession` or
+:func:`repro.api.optimize_query`.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from ..query import Query
 from .pwl_backend import PWLBackend, PWLRRPAOptions
@@ -22,12 +30,19 @@ class PWLRRPA:
             ready cost model via :meth:`optimize_with_model` instead if it
             is already built.
         options: Backend tunables (emptiness strategy, refinements).
+        backend_factory: Optional backend constructor with the signature
+            ``(cost_model, *, options, lp_stats, stats) -> RRPABackend``;
+            defaults to :class:`PWLBackend`.  This is the hook the
+            scenario registry uses to plug alternative backends into the
+            same optimizer loop.
     """
 
     def __init__(self, cost_model_factory=None,
-                 options: PWLRRPAOptions | None = None) -> None:
+                 options: PWLRRPAOptions | None = None,
+                 backend_factory=None) -> None:
         self.cost_model_factory = cost_model_factory
         self.options = options or PWLRRPAOptions()
+        self.backend_factory = backend_factory
 
     def optimize(self, query: Query) -> OptimizationResult:
         """Optimize a query, building the cost model via the factory."""
@@ -40,8 +55,9 @@ class PWLRRPA:
                             cost_model) -> OptimizationResult:
         """Optimize a query with an explicit cost model instance."""
         stats = OptimizerStats()
-        backend = PWLBackend(cost_model, options=self.options,
-                             lp_stats=stats.lp_stats, stats=stats)
+        factory = self.backend_factory or PWLBackend
+        backend = factory(cost_model, options=self.options,
+                          lp_stats=stats.lp_stats, stats=stats)
         result = RRPA(backend).optimize(query)
         # RRPA created fresh stats internally; fold our emptiness-check
         # accounting into the run's stats object.
@@ -56,11 +72,16 @@ def optimize_cloud_query(query: Query, resolution: int = 2,
                          ) -> OptimizationResult:
     """Optimize a query under the Cloud cost model (Scenario 1).
 
-    Convenience entry point used by examples and benchmarks.
+    .. deprecated:: 1.1
+        Use :class:`repro.api.OptimizerSession` (scenario ``"cloud"``) or
+        :func:`repro.api.optimize_query` instead; this shim delegates to
+        the ``"cloud"`` entry of the scenario registry and returns
+        bit-identical Pareto plan sets.
     """
-    from ..cloud import CloudCostModel
-    optimizer = PWLRRPA(
-        cost_model_factory=lambda q: CloudCostModel(q,
-                                                    resolution=resolution),
-        options=options)
-    return optimizer.optimize(query)
+    warnings.warn(
+        "optimize_cloud_query is deprecated; use repro.api.OptimizerSession"
+        " or repro.api.optimize_query(query, scenario='cloud')",
+        DeprecationWarning, stacklevel=2)
+    from ..service.registry import get_scenario
+    return get_scenario("cloud").optimize(query, resolution=resolution,
+                                          options=options)

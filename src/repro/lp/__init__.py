@@ -6,6 +6,9 @@ Public API:
   pluggable backends (scipy HiGHS or the built-in simplex).
 * :class:`LPResult` — solve outcome.
 * :class:`LPResultCache` — bounded LRU memo over canonicalized LP inputs.
+* :func:`install_shared_lp_cache` / :func:`shared_lp_cache` — process-wide
+  session memo injection (used by :class:`repro.api.OptimizerSession` so
+  LP results are shared across runs and shipped to pool workers).
 * :class:`LPStats` / :func:`default_stats` — counters used to reproduce the
   "#solved linear programs" measurements of Figure 12.
 * :func:`solve_simplex` — the dependency-free simplex used as fallback and
@@ -14,7 +17,8 @@ Public API:
 
 from .counters import LPStats, default_stats
 from .simplex import SimplexResult, solve_simplex
-from .solver import LinearProgramSolver, LPResult, LPResultCache, make_solver
+from .solver import (LinearProgramSolver, LPResult, LPResultCache,
+                     install_shared_lp_cache, make_solver, shared_lp_cache)
 
 __all__ = [
     "LPResult",
@@ -23,6 +27,8 @@ __all__ = [
     "LinearProgramSolver",
     "SimplexResult",
     "default_stats",
+    "install_shared_lp_cache",
     "make_solver",
+    "shared_lp_cache",
     "solve_simplex",
 ]

@@ -105,6 +105,54 @@ class LPResultCache:
         """Store a result, evicting the least recently used on overflow."""
         self._data.put(key, result)
 
+    def export(self, limit: int | None = None) -> list[tuple]:
+        """Snapshot of ``(key, result)`` pairs for shipping across processes.
+
+        Most recently used entries are kept when ``limit`` truncates the
+        snapshot.  Keys are tuples of primitives and results hold plain
+        numpy arrays, so the export pickles cheaply (the optimizer-session
+        pool seeds its workers with one at spawn time).
+        """
+        entries = self._data.items()
+        if limit is not None and len(entries) > limit:
+            entries = entries[-limit:]
+        return entries
+
+    def merge(self, entries) -> None:
+        """Adopt exported ``(key, result)`` pairs into this cache."""
+        for key, result in entries:
+            self._data.put(key, result)
+
+
+#: Process-wide session LP memo; see :func:`install_shared_lp_cache`.
+_SHARED_CACHE: LPResultCache | None = None
+
+
+def install_shared_lp_cache(cache: LPResultCache | None
+                            ) -> LPResultCache | None:
+    """Install (or clear, with ``None``) the process-wide session LP memo.
+
+    While a shared cache is installed, every
+    :class:`LinearProgramSolver` created with a positive ``cache_size``
+    memoizes into it instead of a private per-run cache, so identical LPs
+    arising in *different* optimization runs hit.  :class:`repro.api
+    .OptimizerSession` installs its session memo around serial runs and
+    inside pool workers; solvers created with ``cache_size=0`` (the
+    paper-faithful configuration) stay unmemoized either way.
+
+    Returns:
+        The previously installed cache, so callers can restore it.
+    """
+    global _SHARED_CACHE
+    previous = _SHARED_CACHE
+    _SHARED_CACHE = cache
+    return previous
+
+
+def shared_lp_cache() -> LPResultCache | None:
+    """The currently installed process-wide session LP memo, if any."""
+    return _SHARED_CACHE
+
 
 class LinearProgramSolver:
     """Facade over LP backends that records every solve in an :class:`LPStats`.
@@ -116,10 +164,14 @@ class LinearProgramSolver:
             available, simplex otherwise).
         cache_size: Size of the LP-result memo cache; ``0`` (the default)
             disables memoization so counters reflect every solve.
+        cache: Explicit memo cache to use, overriding both ``cache_size``
+            and any installed shared cache (see
+            :func:`install_shared_lp_cache`).
     """
 
     def __init__(self, stats: LPStats | None = None,
-                 backend: str = "auto", cache_size: int = 0) -> None:
+                 backend: str = "auto", cache_size: int = 0,
+                 cache: LPResultCache | None = None) -> None:
         if backend == "auto":
             # The LPs arising in PWL-RRPA are tiny (a handful of variables,
             # dozens of constraints); the dependency-free simplex beats
@@ -132,7 +184,15 @@ class LinearProgramSolver:
             raise SolverError("scipy backend requested but scipy is missing")
         self.backend = backend
         self.stats = stats if stats is not None else default_stats()
-        self.cache = LPResultCache(cache_size) if cache_size > 0 else None
+        if cache is not None:
+            self.cache = cache
+        elif cache_size > 0:
+            # Memoization requested: prefer the session-scoped shared memo
+            # when one is installed so hits survive across runs.
+            self.cache = (_SHARED_CACHE if _SHARED_CACHE is not None
+                          else LPResultCache(cache_size))
+        else:
+            self.cache = None
 
     def solve(self, c, a_ub=None, b_ub=None, bounds=None, *,
               purpose: str = "generic") -> LPResult:

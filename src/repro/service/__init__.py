@@ -1,25 +1,44 @@
-"""Batch optimization service: concurrent MPQ optimization with caching.
+"""Optimization service: sessions, scenarios, caching, legacy batch API.
 
 Public API:
 
-* :class:`BatchOptimizer` / :class:`BatchOptions` / :class:`BatchItem` —
-  optimize many queries concurrently with deterministic result ordering,
-  per-query error isolation and timeouts.
+* :class:`OptimizerSession` — the unified front door: persistent worker
+  pool, session-scoped caches, ``submit``/``as_completed``/``map``
+  submission over named scenarios (see also :mod:`repro.api`).
+* :class:`Scenario` / :class:`ScenarioRegistry` /
+  :func:`register_scenario` / :func:`get_scenario` /
+  :func:`available_scenarios` — the pluggable scenario registry with
+  built-in ``"cloud"`` and ``"approx"`` workloads.
+* :class:`BatchItem` — outcome of one submitted query.
+* :class:`BatchOptimizer` / :class:`BatchOptions` — deprecated batch
+  engine, kept as a thin wrapper over a session.
 * :class:`WarmStartCache` — LRU (optionally disk-backed) cache of
   serialized Pareto plan sets.
 * :func:`query_signature` / :func:`signature_document` — the cache key:
-  a digest of the query's join graph, statistics and cost-model config.
+  a digest of the query's join graph, statistics, scenario and
+  cost-model config.
 """
 
-from .batch import BatchItem, BatchOptimizer, BatchOptions
+from .batch import BatchOptimizer, BatchOptions
 from .cache import WarmStartCache
+from .registry import (Scenario, ScenarioRegistry, available_scenarios,
+                       default_registry, get_scenario, register_scenario)
+from .session import STATUSES, BatchItem, OptimizerSession
 from .signature import query_signature, signature_document
 
 __all__ = [
+    "STATUSES",
     "BatchItem",
     "BatchOptimizer",
     "BatchOptions",
+    "OptimizerSession",
+    "Scenario",
+    "ScenarioRegistry",
     "WarmStartCache",
+    "available_scenarios",
+    "default_registry",
+    "get_scenario",
     "query_signature",
+    "register_scenario",
     "signature_document",
 ]

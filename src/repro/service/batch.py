@@ -1,48 +1,34 @@
-"""Batch optimization engine: many queries, many workers, one result list.
+"""Deprecated batch engine: a thin wrapper over :class:`OptimizerSession`.
 
-The paper optimizes one MPQ instance at a time; a serving layer has to
-sustain streams of them.  :class:`BatchOptimizer` fans a list of queries
-across a :class:`concurrent.futures.ProcessPoolExecutor` (PWL-RRPA is
-CPU-bound pure Python, so processes — not threads — buy parallelism),
-with:
-
-* **deterministic ordering** — results come back indexed by input
-  position, independent of completion order;
-* **error isolation** — one failing query yields one failed
-  :class:`BatchItem`; the rest of the batch is unaffected;
-* **per-query timeouts** — a query that exceeds its budget is reported as
-  ``"timeout"`` instead of stalling the batch;
-* **warm-start caching** — results are serialized via
-  :mod:`repro.core.serialize` and memoized in a :class:`WarmStartCache`
-  keyed by :func:`repro.service.signature.query_signature`, so repeated
-  query shapes skip optimization entirely.
-
-Workers ship *serialized* plan sets (JSON documents) back to the parent,
-which both sidesteps pickling optimizer internals and feeds the cache for
-free.
+:class:`BatchOptimizer` was the original fan-out engine of this package;
+its contract (deterministic ordering, per-query error isolation and
+timeouts, warm-start caching) now lives in
+:class:`repro.service.session.OptimizerSession`, which additionally keeps
+one persistent worker pool across batches, streams results
+(:meth:`~repro.service.session.OptimizerSession.as_completed`), and
+optimizes under any registered scenario.  This module keeps the old
+surface working — construction emits a :class:`DeprecationWarning` and
+every batch delegates to a session owned by the wrapper (so consecutive
+batches reuse one pool instead of paying worker start-up each time).
 """
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..core import (PWLRRPAOptions, StoredPlanSet, decode_plan_set,
-                    encode_result, optimize_cloud_query)
+from ..core import PWLRRPAOptions
 from ..query import Query
 from .cache import WarmStartCache
-from .signature import query_signature
+from .session import STATUSES, BatchItem, OptimizerSession
 
-#: Result statuses a batch item can end in.
-STATUSES = ("ok", "cached", "error", "timeout")
+__all__ = ["STATUSES", "BatchItem", "BatchOptimizer", "BatchOptions"]
 
 
 @dataclass(frozen=True)
 class BatchOptions:
-    """Tunables of the batch engine.
+    """Tunables of the legacy batch engine.
 
     Attributes:
         workers: Worker processes; ``0`` or ``1`` optimizes in-process
@@ -54,8 +40,9 @@ class BatchOptions:
             start (process mode only; a serial run cannot preempt a
             running optimization).  Queries whose results are not
             available by the deadline are reported ``"timeout"`` and the
-            batch returns promptly — overdue worker processes are
-            terminated and their late results discarded.  ``None`` waits
+            batch returns promptly — workers stuck on overdue tasks are
+            terminated (as the original engine did), while timeout-free
+            batches keep one pool alive across calls.  ``None`` waits
             indefinitely.
         warm_start: Consult/populate the warm-start cache.
     """
@@ -74,51 +61,14 @@ class BatchOptions:
 
 
 @dataclass
-class BatchItem:
-    """Outcome of one query in a batch.
-
-    Attributes:
-        index: Position of the query in the input list.
-        signature: Warm-start cache key of the query.
-        status: One of :data:`STATUSES`.
-        plan_set: Run-time-selectable Pareto plan set (``None`` unless the
-            status is ``"ok"`` or ``"cached"``).
-        stats: Optimizer-stats summary dict (``None`` for cached/failed
-            items).
-        error: Error description for ``"error"``/``"timeout"`` items.
-        seconds: Wall-clock optimization time (0 for cache hits).
-    """
-
-    index: int
-    signature: str
-    status: str
-    plan_set: StoredPlanSet | None = None
-    stats: dict | None = None
-    error: str | None = None
-    seconds: float = 0.0
-
-    @property
-    def ok(self) -> bool:
-        """``True`` when a plan set is available."""
-        return self.status in ("ok", "cached")
-
-
-def _optimize_one(payload: tuple) -> tuple[int, dict, dict, float]:
-    """Worker entry point: optimize one query, return serialized output.
-
-    Module-level (not a closure) so process pools can pickle it.
-    """
-    index, query, resolution, options = payload
-    started = time.perf_counter()
-    result = optimize_cloud_query(query, resolution=resolution,
-                                  options=options)
-    elapsed = time.perf_counter() - started
-    return index, encode_result(result), result.stats.summary(), elapsed
-
-
-@dataclass
 class BatchOptimizer:
     """Optimizes batches of queries under the cloud cost model.
+
+    .. deprecated:: 1.1
+        Use :class:`repro.api.OptimizerSession` — it exposes the same
+        ``map`` contract plus ``submit``/``as_completed`` streaming and
+        named scenarios.  This wrapper delegates to a session and keeps
+        returning bit-identical plan sets.
 
     Args:
         options: Engine tunables.
@@ -129,123 +79,24 @@ class BatchOptimizer:
     options: BatchOptions = field(default_factory=BatchOptions)
     cache: WarmStartCache = field(default_factory=WarmStartCache)
 
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "BatchOptimizer is deprecated; use repro.api.OptimizerSession",
+            DeprecationWarning, stacklevel=2)
+        self._session = OptimizerSession(
+            "cloud", workers=self.options.workers,
+            resolution=self.options.resolution,
+            options=self.options.rrpa_options,
+            timeout_seconds=self.options.timeout_seconds,
+            warm_start=self.options.warm_start,
+            cache=self.cache)
+
+    @property
+    def session(self) -> OptimizerSession:
+        """The session this wrapper delegates to (one pool, kept across
+        batches)."""
+        return self._session
+
     def optimize_batch(self, queries: Sequence[Query]) -> list[BatchItem]:
         """Optimize ``queries``, returning one item per query, in order."""
-        opts = self.options
-        items: list[BatchItem | None] = [None] * len(queries)
-        pending: list[tuple] = []
-        followers: dict[int, list[int]] = {}
-        seen: dict[str, int] = {}
-        for index, query in enumerate(queries):
-            signature = query_signature(query, resolution=opts.resolution,
-                                        options=opts.rrpa_options)
-            doc = (self.cache.get(signature) if opts.warm_start else None)
-            plan_set = None
-            if doc is not None:
-                try:
-                    plan_set = decode_plan_set(doc)
-                except Exception:
-                    # Undecodable cache entry (e.g. older format in a
-                    # shared directory): fall through and re-optimize.
-                    plan_set = None
-            if plan_set is not None:
-                items[index] = BatchItem(
-                    index=index, signature=signature, status="cached",
-                    plan_set=plan_set)
-            elif opts.warm_start and signature in seen:
-                # Duplicate within the batch: optimize once, share the
-                # serialized result with every follower index.
-                followers.setdefault(seen[signature], []).append(index)
-            else:
-                seen[signature] = index
-                pending.append(
-                    (index, query, opts.resolution, opts.rrpa_options,
-                     signature))
-        if pending:
-            if opts.workers > 1:
-                self._run_pooled(pending, items, followers)
-            else:
-                self._run_serial(pending, items, followers)
-        return [item for item in items if item is not None]
-
-    # ------------------------------------------------------------------
-    # Execution strategies
-    # ------------------------------------------------------------------
-
-    def _finish(self, items: list, followers: dict, signature: str,
-                index: int, doc: dict, stats: dict, seconds: float) -> None:
-        if self.options.warm_start:
-            self.cache.put(signature, doc)
-        # Plan sets are read-only at run time, so leader and followers
-        # can share one decoded instance.
-        plan_set = decode_plan_set(doc)
-        items[index] = BatchItem(index=index, signature=signature,
-                                 status="ok", plan_set=plan_set,
-                                 stats=stats, seconds=seconds)
-        for follower in followers.get(index, ()):
-            items[follower] = BatchItem(
-                index=follower, signature=signature, status="cached",
-                plan_set=plan_set)
-
-    def _fail(self, items: list, followers: dict, signature: str,
-              index: int, status: str, error: str) -> None:
-        for failed in (index, *followers.get(index, ())):
-            items[failed] = BatchItem(index=failed, signature=signature,
-                                      status=status, error=error)
-
-    def _run_serial(self, pending: list[tuple], items: list,
-                    followers: dict) -> None:
-        for index, query, resolution, options, signature in pending:
-            try:
-                __, doc, stats, seconds = _optimize_one(
-                    (index, query, resolution, options))
-            except Exception as exc:  # error isolation per query
-                self._fail(items, followers, signature, index, "error",
-                           f"{type(exc).__name__}: {exc}")
-            else:
-                self._finish(items, followers, signature, index, doc,
-                             stats, seconds)
-
-    def _run_pooled(self, pending: list[tuple], items: list,
-                    followers: dict) -> None:
-        opts = self.options
-        deadline = (None if opts.timeout_seconds is None
-                    else time.monotonic() + opts.timeout_seconds)
-        pool = ProcessPoolExecutor(max_workers=opts.workers)
-        timed_out = False
-        try:
-            futures = [
-                (pool.submit(_optimize_one,
-                             (index, query, resolution, options)),
-                 index, signature)
-                for index, query, resolution, options, signature in pending]
-            for future, index, signature in futures:
-                try:
-                    remaining = (None if deadline is None
-                                 else max(0.0, deadline - time.monotonic()))
-                    __, doc, stats, seconds = future.result(
-                        timeout=remaining)
-                except FutureTimeoutError:
-                    future.cancel()
-                    timed_out = True
-                    self._fail(items, followers, signature, index,
-                               "timeout",
-                               f"no result within {opts.timeout_seconds}s "
-                               f"of batch start")
-                except Exception as exc:  # error isolation per query
-                    self._fail(items, followers, signature, index, "error",
-                               f"{type(exc).__name__}: {exc}")
-                else:
-                    self._finish(items, followers, signature, index, doc,
-                                 stats, seconds)
-        finally:
-            # Do not stall the batch on overdue workers: queued tasks
-            # are cancelled, and after a timeout the worker processes
-            # are terminated outright — otherwise they would keep
-            # burning CPU and the interpreter's exit hook would still
-            # join them.
-            workers = dict(getattr(pool, "_processes", None) or {})
-            pool.shutdown(wait=False, cancel_futures=True)
-            if timed_out:
-                for process in workers.values():
-                    process.terminate()
+        return self._session.map(queries)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 
 from ..core import StoredPlanSet, decode_plan_set
 from ..util import BoundedLRU
@@ -20,6 +21,10 @@ from ..util import BoundedLRU
 
 class WarmStartCache:
     """Bounded LRU cache of serialized plan-set documents.
+
+    In-memory accesses are lock-protected: an optimizer session's pool
+    feeds late (post-deadline) results into the cache from its executor
+    callback thread while the main thread keeps reading it.
 
     Args:
         maxsize: Maximum number of in-memory entries (LRU eviction);
@@ -37,14 +42,19 @@ class WarmStartCache:
         if self.directory:
             os.makedirs(self.directory, exist_ok=True)
         self._data = BoundedLRU(maxsize)
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, signature: str) -> bool:
-        return signature in self._data or self._path_for(signature) is not None
+        with self._lock:
+            if signature in self._data:
+                return True
+        return self._path_for(signature) is not None
 
     def _path_for(self, signature: str) -> str | None:
         if not self.directory:
@@ -59,22 +69,26 @@ class WarmStartCache:
         schema in a shared directory) count as misses rather than
         failing the caller — the query is simply re-optimized.
         """
-        doc = self._data.get(signature)
-        if doc is not None:
-            self.hits += 1
-            return doc
+        with self._lock:
+            doc = self._data.get(signature)
+            if doc is not None:
+                self.hits += 1
+                return doc
         path = self._path_for(signature)
         if path is not None:
             try:
                 with open(path, "r", encoding="utf-8") as handle:
                     doc = json.load(handle)
             except (OSError, ValueError):
-                self.misses += 1
+                with self._lock:
+                    self.misses += 1
                 return None
-            self._data.put(signature, doc)
-            self.hits += 1
+            with self._lock:
+                self._data.put(signature, doc)
+                self.hits += 1
             return doc
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         return None
 
     def load(self, signature: str) -> StoredPlanSet | None:
@@ -97,7 +111,8 @@ class WarmStartCache:
         rename, so concurrent processes sharing one directory never
         install a half-written document.
         """
-        self._data.put(signature, doc)
+        with self._lock:
+            self._data.put(signature, doc)
         if self.directory:
             path = os.path.join(self.directory, f"{signature}.json")
             fd, tmp = tempfile.mkstemp(dir=self.directory,

@@ -1,0 +1,584 @@
+"""OptimizerSession: the unified front door for all MPQ optimization.
+
+One session owns everything a serving process needs across many
+optimization calls:
+
+* a **persistent worker pool** — spawned lazily on the first pooled call
+  and reused across batches (the legacy batch engine tore its pool down
+  per batch, paying worker start-up every time).  Per-call deadlines do
+  not stall the call: overdue items are reported ``"timeout"``, queued
+  tasks are cancelled, and only when a worker is still *executing* an
+  overdue task is the pool recycled (the stuck worker terminated, a
+  fresh pool spawned lazily on the next call) — otherwise the pool
+  survives untouched, and results arriving just past the deadline still
+  feed the warm-start cache;
+* **session-scoped shared state** — the :class:`WarmStartCache` of
+  serialized Pareto plan sets and an LP-result memo
+  (:class:`repro.lp.LPResultCache`).  The LP memo is installed
+  process-wide around serial runs; each pool worker gets its own memo
+  that persists for the pool's lifetime (warm LP hits across batches),
+  seeded at spawn time with the parent memo's content — pass a
+  populated memo (e.g. from a serial session) via ``lp_memo=`` to start
+  workers warm;
+* the **scenario registry** — queries are optimized under a named
+  scenario (``"cloud"``, ``"approx"``, or anything registered via
+  :func:`repro.service.registry.register_scenario`), so new cost-model
+  workloads need one registration instead of a new module of glue.
+
+Submission surfaces:
+
+* :meth:`OptimizerSession.submit` — one query, returns a
+  :class:`concurrent.futures.Future` resolving to a :class:`BatchItem`;
+* :meth:`OptimizerSession.as_completed` — many queries, yields items in
+  completion order as they finish (streaming);
+* :meth:`OptimizerSession.map` — many queries, returns items in input
+  order (the legacy batch contract, with per-query error isolation,
+  deadline handling and in-batch deduplication).
+
+Workers ship *serialized* plan sets (JSON documents) back to the parent,
+which both sidesteps pickling optimizer internals and feeds the cache for
+free.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import as_completed as _futures_as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..core import (PWLRRPAOptions, StoredPlanSet, decode_plan_set,
+                    encode_result)
+from ..lp import LPResultCache, install_shared_lp_cache
+from ..query import Query
+from .cache import WarmStartCache
+from .registry import ScenarioRegistry, default_registry
+from .signature import query_signature
+
+#: Result statuses a batch item can end in.
+STATUSES = ("ok", "cached", "error", "timeout")
+
+#: Most-recently-used LP memo entries shipped to each spawning worker.
+#: Bounds the pickled seed (LP results hold numpy arrays) so spawning a
+#: pool off a long-lived memo stays cheap.
+WORKER_SEED_LIMIT = 4096
+
+
+@dataclass
+class BatchItem:
+    """Outcome of one query submitted to a session.
+
+    Attributes:
+        index: Position of the query in the submitted sequence (``0`` for
+            single :meth:`OptimizerSession.submit` calls).
+        signature: Warm-start cache key of the query.
+        status: One of :data:`STATUSES`.
+        plan_set: Run-time-selectable Pareto plan set (``None`` unless the
+            status is ``"ok"`` or ``"cached"``).
+        stats: Optimizer-stats summary dict (``None`` for cached/failed
+            items).
+        error: Error description for ``"error"``/``"timeout"`` items.
+        seconds: Wall-clock optimization time (0 for cache hits).
+        scenario: Name of the scenario the query was optimized under.
+    """
+
+    index: int
+    signature: str
+    status: str
+    plan_set: StoredPlanSet | None = None
+    stats: dict | None = None
+    error: str | None = None
+    seconds: float = 0.0
+    scenario: str = "cloud"
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when a plan set is available."""
+        return self.status in ("ok", "cached")
+
+
+def _optimize_payload(payload: tuple) -> tuple[int, dict, dict, float]:
+    """Worker entry point: optimize one query, return serialized output.
+
+    Module-level (not a closure) so process pools can pickle it.  The
+    scenario is resolved by name from the process-global default registry,
+    which pool workers inherit from the parent at spawn time.
+    """
+    index, scenario_name, query, resolution, options = payload
+    scenario = default_registry().get(scenario_name)
+    started = time.perf_counter()
+    result = scenario.optimize(query, resolution=resolution,
+                               options=options)
+    elapsed = time.perf_counter() - started
+    return index, encode_result(result), result.stats.summary(), elapsed
+
+
+def _worker_init(memo_entries: list, memo_size: int) -> None:
+    """Pool-worker initializer: install a seeded process-local LP memo.
+
+    The memo persists for the worker's lifetime — the pool is persistent,
+    so LP results accumulate across every batch the session runs.
+    """
+    memo = LPResultCache(max(memo_size, 1))
+    memo.merge(memo_entries)
+    install_shared_lp_cache(memo)
+
+
+class OptimizerSession:
+    """Session façade over the optimizer: pool, caches and scenarios.
+
+    Args:
+        scenario: Default scenario name for submitted queries (resolved
+            eagerly, so typos fail at construction).
+        workers: Worker processes; ``0`` or ``1`` optimizes in-process
+            (serial), ``>= 2`` uses the persistent process pool.
+        resolution: PWL grid resolution of the scenario cost models.
+        options: Backend options forwarded to every optimization.
+        timeout_seconds: Per-call deadline for :meth:`map` /
+            :meth:`as_completed`, measured from call start (pool mode
+            only; a serial run cannot preempt a running optimization).
+            Overdue items are reported ``"timeout"``; workers caught
+            still executing an overdue task are terminated and the pool
+            respawned lazily, so later calls get full capacity instead
+            of sharing it with abandoned work.
+        warm_start: Consult/populate the warm-start cache.
+        cache: Warm-start cache to share; a private one is created when
+            omitted.
+        registry: Scenario registry; the process-global default when
+            omitted.  Pooled workers always resolve scenario names from
+            the default registry (inherited at pool spawn), so custom
+            registries are only honored on the serial path.
+        lp_memo_size: Capacity of the session-scoped LP-result memo
+            (``0`` disables cross-run LP memoization entirely — serial
+            runs and pool workers then fall back to the optimizer's
+            private per-run memo governed by ``options.lp_cache_size``,
+            exactly as before).
+        lp_memo: Explicit LP memo to adopt instead of creating a fresh
+            one — e.g. a memo populated by an earlier serial session, so
+            a pooled session's workers spawn warm.
+
+    The session is a context manager; :meth:`close` is idempotent and is
+    also invoked on garbage collection.
+    """
+
+    def __init__(self, scenario: str = "cloud", *, workers: int = 0,
+                 resolution: int = 2,
+                 options: PWLRRPAOptions | None = None,
+                 timeout_seconds: float | None = None,
+                 warm_start: bool = True,
+                 cache: WarmStartCache | None = None,
+                 registry: ScenarioRegistry | None = None,
+                 lp_memo_size: int = 65536,
+                 lp_memo: LPResultCache | None = None) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if timeout_seconds is not None and timeout_seconds <= 0:
+            raise ValueError("timeout must be positive")
+        if lp_memo_size < 0:
+            raise ValueError("lp_memo_size must be >= 0")
+        self.registry = registry if registry is not None else (
+            default_registry())
+        self.scenario = scenario
+        self.registry.get(scenario)  # fail fast on unknown names
+        self.workers = workers
+        self.resolution = resolution
+        self.options = options
+        self.timeout_seconds = timeout_seconds
+        self.warm_start = warm_start
+        self.cache = cache if cache is not None else WarmStartCache()
+        if lp_memo is not None:
+            self.lp_memo = lp_memo
+        else:
+            self.lp_memo = (LPResultCache(lp_memo_size)
+                            if lp_memo_size > 0 else None)
+        self._pool: ProcessPoolExecutor | None = None
+        self._closed = False
+        self._timed_out = False
+        #: Times a worker pool was spawned; stays at 1 across any number
+        #: of batch calls (the regression the legacy engine had).
+        self.pool_spawns = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` ran."""
+        return self._closed
+
+    def __enter__(self) -> "OptimizerSession":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Shut the session down (idempotent).
+
+        Waits for in-flight work.  The exception is a deadline miss whose
+        handling was cut short (an abandoned ``as_completed`` iterator):
+        its overdue workers are terminated outright instead of stalling
+        the close.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if self._timed_out:
+            # Abandoned (timed-out) tasks may still be running; do not
+            # stall on them — queued tasks are cancelled and the worker
+            # processes terminated outright.
+            processes = dict(getattr(pool, "_processes", None) or {})
+            pool.shutdown(wait=False, cancel_futures=True)
+            for process in processes.values():
+                process.terminate()
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("OptimizerSession is closed")
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            if self.lp_memo is not None:
+                # Each worker gets a private memo living for the pool's
+                # lifetime, seeded with whatever the session memo holds.
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_worker_init,
+                    initargs=(self.lp_memo.export(
+                        limit=WORKER_SEED_LIMIT), self.lp_memo.maxsize))
+            else:  # cross-run memoization disabled
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self.pool_spawns += 1
+        return self._pool
+
+    def _discard_broken_pool(self) -> None:
+        """Drop a broken pool so the next call can respawn one.
+
+        A worker killed hard (OOM, segfault) breaks the whole
+        :class:`ProcessPoolExecutor`; unlike the per-batch pools of the
+        legacy engine, a persistent pool must recover explicitly or every
+        later call would fail forever.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _recycle_pool(self) -> None:
+        """Terminate workers stuck on overdue tasks and drop the pool.
+
+        Called after a deadline miss caught tasks still *executing*:
+        cancellation cannot stop them, and leaving them running would
+        both leak CPU and shrink the capacity every later call sees.  The
+        next pooled call respawns a fresh pool lazily.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = dict(getattr(pool, "_processes", None) or {})
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes.values():
+            process.terminate()
+
+    # ------------------------------------------------------------------
+    # Submission plumbing
+    # ------------------------------------------------------------------
+
+    def _scenario_name(self, scenario: str | None) -> str:
+        name = scenario if scenario is not None else self.scenario
+        self.registry.get(name)  # raise early for unknown names
+        return name
+
+    def _signature(self, query: Query, scenario_name: str) -> str:
+        return query_signature(query, scenario=scenario_name,
+                               resolution=self.resolution,
+                               options=self.options)
+
+    def _cached_item(self, index: int, signature: str,
+                     scenario_name: str) -> BatchItem | None:
+        """Warm-start lookup; ``None`` on miss or undecodable entry."""
+        if not self.warm_start:
+            return None
+        doc = self.cache.get(signature)
+        if doc is None:
+            return None
+        try:
+            plan_set = decode_plan_set(doc)
+        except Exception:
+            # Undecodable cache entry (e.g. older format in a shared
+            # directory): fall through and re-optimize.
+            return None
+        return BatchItem(index=index, signature=signature, status="cached",
+                         plan_set=plan_set, scenario=scenario_name)
+
+    def _ok_item(self, index: int, signature: str, scenario_name: str,
+                 doc: dict, stats: dict, seconds: float) -> BatchItem:
+        """Build an ``"ok"`` item, feeding the warm-start cache."""
+        if self.warm_start:
+            self.cache.put(signature, doc)
+        return BatchItem(index=index, signature=signature, status="ok",
+                         plan_set=decode_plan_set(doc), stats=stats,
+                         seconds=seconds, scenario=scenario_name)
+
+    def _error_item(self, index: int, signature: str, scenario_name: str,
+                    status: str, error: str) -> BatchItem:
+        return BatchItem(index=index, signature=signature, status=status,
+                         error=error, scenario=scenario_name)
+
+    def _run_serial(self, index: int, signature: str, scenario_name: str,
+                    query: Query) -> BatchItem:
+        """Optimize in-process, with the session LP memo installed."""
+        previous = None
+        if self.lp_memo is not None:
+            previous = install_shared_lp_cache(self.lp_memo)
+        try:
+            __, doc, stats, seconds = _optimize_payload(
+                (index, scenario_name, query, self.resolution,
+                 self.options))
+        except Exception as exc:  # error isolation per query
+            return self._error_item(index, signature, scenario_name,
+                                    "error", f"{type(exc).__name__}: {exc}")
+        finally:
+            if self.lp_memo is not None:
+                install_shared_lp_cache(previous)
+        return self._ok_item(index, signature, scenario_name, doc, stats,
+                             seconds)
+
+    def _submit_pooled(self, index: int, signature: str,
+                       scenario_name: str, query: Query
+                       ) -> tuple[Future, Future | None]:
+        """Submit to the persistent pool.
+
+        Returns ``(item_future, raw_future)``; the item future resolves
+        to a :class:`BatchItem` (never raises), the raw future is the
+        executor handle (``None`` when submission itself failed) kept for
+        deadline-driven cancellation.
+        """
+        item_future: Future = Future()
+        payload = (index, scenario_name, query, self.resolution,
+                   self.options)
+        try:
+            raw = self._ensure_pool().submit(_optimize_payload, payload)
+        except BrokenProcessPool:
+            # A previously crashed worker broke the pool; respawn once
+            # and retry so one hard crash does not poison the session.
+            self._discard_broken_pool()
+            try:
+                raw = self._ensure_pool().submit(_optimize_payload,
+                                                 payload)
+            except Exception as exc:
+                item_future.set_result(self._error_item(
+                    index, signature, scenario_name, "error",
+                    f"{type(exc).__name__}: {exc}"))
+                return item_future, None
+        except Exception as exc:  # e.g. unpicklable query
+            item_future.set_result(self._error_item(
+                index, signature, scenario_name, "error",
+                f"{type(exc).__name__}: {exc}"))
+            return item_future, None
+
+        def _complete(done: Future) -> None:
+            # Runs on the executor's collector thread.  Late results of
+            # timed-out items land here too — they still feed the
+            # warm-start cache via _ok_item.
+            try:
+                if done.cancelled():
+                    item = self._error_item(
+                        index, signature, scenario_name, "timeout",
+                        "cancelled before execution")
+                else:
+                    exc = done.exception()
+                    if exc is not None:
+                        item = self._error_item(
+                            index, signature, scenario_name, "error",
+                            f"{type(exc).__name__}: {exc}")
+                    else:
+                        __, doc, stats, seconds = done.result()
+                        item = self._ok_item(index, signature,
+                                             scenario_name, doc, stats,
+                                             seconds)
+                item_future.set_result(item)
+            except Exception as exc:  # decoding/caching failure
+                item_future.set_result(self._error_item(
+                    index, signature, scenario_name, "error",
+                    f"{type(exc).__name__}: {exc}"))
+
+        raw.add_done_callback(_complete)
+        return item_future, raw
+
+    # ------------------------------------------------------------------
+    # Public submission surface
+    # ------------------------------------------------------------------
+
+    def submit(self, query: Query, *, scenario: str | None = None,
+               index: int = 0) -> Future:
+        """Submit one query; returns a future resolving to a
+        :class:`BatchItem`.
+
+        The future never raises for optimization failures — errors are
+        reported in the item's ``status``/``error`` fields.  Warm-start
+        hits resolve immediately.
+
+        Raises:
+            RuntimeError: If the session is closed.
+            KeyError: For unknown scenario names.
+        """
+        self._check_open()
+        scenario_name = self._scenario_name(scenario)
+        signature = self._signature(query, scenario_name)
+        cached = self._cached_item(index, signature, scenario_name)
+        if cached is not None:
+            future: Future = Future()
+            future.set_result(cached)
+            return future
+        if self.workers > 1:
+            item_future, __ = self._submit_pooled(index, signature,
+                                                  scenario_name, query)
+            return item_future
+        future = Future()
+        future.set_result(self._run_serial(index, signature, scenario_name,
+                                           query))
+        return future
+
+    def as_completed(self, queries: Sequence[Query], *,
+                     scenario: str | None = None
+                     ) -> Iterator[BatchItem]:
+        """Optimize ``queries``, yielding items as they finish.
+
+        Duplicate queries (same signature) within the call are optimized
+        once; followers are yielded right after their leader as
+        ``"cached"`` items.  With a ``timeout_seconds`` deadline, items
+        not finished in time are yielded as ``"timeout"`` without tearing
+        the pool down.  Every input query yields exactly one item.
+
+        Raises:
+            RuntimeError: If the session is closed.
+            KeyError: For unknown scenario names.
+        """
+        self._check_open()
+        scenario_name = self._scenario_name(scenario)
+        # Plan the batch: warm hits are decoded immediately, one leader is
+        # kept per distinct signature, in-batch duplicates become
+        # followers of their leader.
+        hits: list[BatchItem] = []
+        leaders: list[tuple[int, str, Query]] = []
+        followers: dict[int, list[int]] = {}
+        seen: dict[str, int] = {}
+        for index, query in enumerate(queries):
+            signature = self._signature(query, scenario_name)
+            cached = self._cached_item(index, signature, scenario_name)
+            if cached is not None:
+                hits.append(cached)
+            elif self.warm_start and signature in seen:
+                # In-batch duplicate: optimize once, share the result.
+                # Gated on warm_start like the cross-batch cache, so
+                # warm_start=False keeps forcing every copy to optimize
+                # (the legacy contract; benchmarks rely on it).
+                followers.setdefault(seen[signature], []).append(index)
+            else:
+                seen[signature] = index
+                leaders.append((index, signature, query))
+        # Warm hits are complete already — yield them first.
+        yield from hits
+        yield from self._drain(leaders, followers, scenario_name)
+
+    def _follower_items(self, item: BatchItem, follower_indexes: list[int],
+                        scenario_name: str) -> Iterator[BatchItem]:
+        for follower in follower_indexes:
+            if item.ok:
+                # Plan sets are read-only at run time, so leader and
+                # followers can share one decoded instance.
+                yield BatchItem(index=follower, signature=item.signature,
+                                status="cached", plan_set=item.plan_set,
+                                scenario=scenario_name)
+            else:
+                yield self._error_item(follower, item.signature,
+                                       scenario_name, item.status,
+                                       item.error or "")
+
+    def _drain(self, leaders: list[tuple], followers: dict,
+               scenario_name: str) -> Iterator[BatchItem]:
+        """Yield one item per leader (plus its followers), streaming."""
+        if self.workers > 1:
+            yield from self._drain_pooled(leaders, followers,
+                                          scenario_name)
+            return
+        # Serial: leaders run inline in input order (completion order ==
+        # input order).
+        for index, signature, query in leaders:
+            item = self._run_serial(index, signature, scenario_name, query)
+            yield item
+            yield from self._follower_items(item, followers.get(index, ()),
+                                            scenario_name)
+
+    def _drain_pooled(self, leaders: list[tuple], followers: dict,
+                      scenario_name: str) -> Iterator[BatchItem]:
+        deadline = (None if self.timeout_seconds is None
+                    else time.monotonic() + self.timeout_seconds)
+        in_flight: dict[Future, tuple[int, str, Future | None]] = {}
+        for index, signature, query in leaders:
+            item_future, raw = self._submit_pooled(index, signature,
+                                                   scenario_name, query)
+            in_flight[item_future] = (index, signature, raw)
+        try:
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - time.monotonic()))
+            for done in _futures_as_completed(in_flight,
+                                              timeout=remaining):
+                index, signature, __ = in_flight.pop(done)
+                item = done.result()  # never raises; always a BatchItem
+                yield item
+                yield from self._follower_items(
+                    item, followers.get(index, ()), scenario_name)
+        except FutureTimeoutError:
+            self._timed_out = True
+            still_running = False
+            for item_future, (index, signature, raw) in in_flight.items():
+                # Unstarted tasks are cancelled to free the pool; a task
+                # a worker is already executing cannot be stopped that
+                # way and forces a pool recycle below.
+                if raw is not None and not raw.cancel() and not raw.done():
+                    still_running = True
+                item = self._error_item(
+                    index, signature, scenario_name, "timeout",
+                    f"no result within {self.timeout_seconds}s of call "
+                    f"start")
+                yield item
+                yield from self._follower_items(
+                    item, followers.get(index, ()), scenario_name)
+            if still_running:
+                self._recycle_pool()
+            self._timed_out = False
+
+    def map(self, queries: Sequence[Query], *,
+            scenario: str | None = None) -> list[BatchItem]:
+        """Optimize ``queries``, returning one item per query, in order.
+
+        Deterministic: results are indexed by input position regardless
+        of completion order (the legacy ``optimize_batch`` contract).
+        """
+        items: list[BatchItem | None] = [None] * len(queries)
+        for item in self.as_completed(queries, scenario=scenario):
+            items[item.index] = item
+        return [item for item in items if item is not None]
+
+    def optimize(self, query: Query, *,
+                 scenario: str | None = None) -> BatchItem:
+        """Optimize one query synchronously; sugar for ``map([query])``."""
+        (item,) = self.map([query], scenario=scenario)
+        return item

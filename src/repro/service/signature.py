@@ -1,12 +1,13 @@
 """Canonical query signatures for warm-start caching.
 
-The batch optimization service memoizes serialized Pareto plan sets per
-*query signature*: a digest of everything the PWL-RRPA output depends on —
-the join graph with its selectivities, per-table statistics, indexes,
-parametric predicates, the cost-model resolution and the backend options.
-Two queries with equal signatures are guaranteed to produce identical
-Pareto plan sets (the optimizer is deterministic), so a cached plan set
-can stand in for a fresh optimization run.
+The optimization service memoizes serialized Pareto plan sets per *query
+signature*: a digest of everything the PWL-RRPA output depends on — the
+join graph with its selectivities, per-table statistics, indexes,
+parametric predicates, the scenario (cost-model family), the cost-model
+resolution and the backend options.  Two queries with equal signatures
+are guaranteed to produce identical Pareto plan sets (the optimizer is
+deterministic), so a cached plan set can stand in for a fresh
+optimization run.
 """
 
 from __future__ import annotations
@@ -19,12 +20,15 @@ from ..core import PWLRRPAOptions
 from ..query import Query
 
 
-def signature_document(query: Query, *, resolution: int = 2,
+def signature_document(query: Query, *, scenario: str = "cloud",
+                       resolution: int = 2,
                        options: PWLRRPAOptions | None = None) -> dict:
     """Return the canonical JSON-ready description hashed by the signature.
 
     Args:
         query: The query to describe.
+        scenario: Scenario (cost-model family) name; different scenarios
+            produce different plan sets, so it is part of the key.
         resolution: PWL grid resolution of the cost model.
         options: Backend options (defaults hashed when omitted).
     """
@@ -51,14 +55,17 @@ def signature_document(query: Query, *, resolution: int = 2,
         "joins": joins,
         "params": params,
         "indexes": indexes,
+        "scenario": scenario,
         "resolution": resolution,
         "options": asdict(options or PWLRRPAOptions()),
     }
 
 
-def query_signature(query: Query, *, resolution: int = 2,
+def query_signature(query: Query, *, scenario: str = "cloud",
+                    resolution: int = 2,
                     options: PWLRRPAOptions | None = None) -> str:
-    """Hex digest identifying ``(query, cost-model config)`` for caching."""
-    doc = signature_document(query, resolution=resolution, options=options)
+    """Hex digest identifying ``(query, scenario, cost-model config)``."""
+    doc = signature_document(query, scenario=scenario,
+                             resolution=resolution, options=options)
     payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -48,3 +48,7 @@ class BoundedLRU:
         self._data.move_to_end(key)
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
+
+    def items(self) -> list[tuple[Hashable, Any]]:
+        """Snapshot of ``(key, value)`` pairs, least recently used first."""
+        return list(self._data.items())

@@ -67,3 +67,12 @@ def test_batch_service():
     assert "Cold batch" in out
     assert "Warm batch" in out
     assert "cache hits=4" in out
+    assert "pool spawns=0" in out  # serial mode never spawns workers
+
+
+def test_streaming_service():
+    out = run_example("streaming_service.py")
+    assert "Registered scenarios" in out
+    assert "cloud" in out and "approx" in out
+    assert "submit() future resolved" in out
+    assert "approx scenario: [ok]" in out

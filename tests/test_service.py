@@ -1,4 +1,10 @@
-"""Tests for the batch optimization service (repro.service)."""
+"""Tests for the legacy batch service surface (repro.service.batch).
+
+BatchOptimizer is a deprecated wrapper over OptimizerSession; these tests
+pin the legacy contract (ordering, isolation, timeouts, warm starts) that
+the wrapper must keep honoring.  Session-native behavior is covered in
+``test_session.py``.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +14,10 @@ from repro.core import PWLRRPAOptions, PlanSelector, optimize_cloud_query
 from repro.query import QueryGenerator
 from repro.service import (BatchOptimizer, BatchOptions, WarmStartCache,
                            query_signature)
-from repro.service import batch as batch_module
+from repro.service import session as session_module
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::DeprecationWarning")  # the legacy surface warns by design
 
 
 def make_queries(count: int, num_tables: int = 3, seed: int = 0):
@@ -69,14 +78,14 @@ class TestBatchOrderingAndResults:
 class TestErrorIsolation:
     def test_one_failure_does_not_poison_the_batch(self, monkeypatch):
         queries = make_queries(3)
-        real = batch_module._optimize_one
+        real = session_module._optimize_payload
 
         def flaky(payload):
             if payload[0] == 1:
                 raise RuntimeError("injected worker failure")
             return real(payload)
 
-        monkeypatch.setattr(batch_module, "_optimize_one", flaky)
+        monkeypatch.setattr(session_module, "_optimize_payload", flaky)
         items = BatchOptimizer(BatchOptions(workers=0)).optimize_batch(
             queries)
         assert [item.status for item in items] == ["ok", "error", "ok"]
@@ -94,16 +103,18 @@ def _sleepy_leader(payload):
     if payload[0] == 0:
         import time as _time
         _time.sleep(5.0)
-    return batch_module._real_optimize_one(payload)
+    return session_module._real_optimize_payload(payload)
 
 
 class TestTimeouts:
     def test_deadline_isolates_slow_queries(self, monkeypatch):
         import time
 
-        monkeypatch.setattr(batch_module, "_real_optimize_one",
-                            batch_module._optimize_one, raising=False)
-        monkeypatch.setattr(batch_module, "_optimize_one", _sleepy_leader)
+        monkeypatch.setattr(session_module, "_real_optimize_payload",
+                            session_module._optimize_payload,
+                            raising=False)
+        monkeypatch.setattr(session_module, "_optimize_payload",
+                            _sleepy_leader)
         queries = make_queries(2, num_tables=2)
         optimizer = BatchOptimizer(BatchOptions(workers=2,
                                                 timeout_seconds=1.0))
@@ -114,8 +125,10 @@ class TestTimeouts:
         assert items[0].plan_set is None
         assert items[1].status == "ok"
         # The batch returns at the deadline instead of stalling on the
-        # abandoned worker (which keeps sleeping in the background).
+        # abandoned worker (which keeps sleeping in the background; the
+        # session's close() terminates it).
         assert elapsed < 4.0
+        optimizer.session.close()
 
 
 class TestWarmStartCache:
