@@ -58,6 +58,21 @@ def test_batch_throughput_chain(benchmark, workers):
     benchmark.extra_info.update(point.as_dict())
 
 
+@pytest.mark.parametrize("topology", ["star", "cycle", "clique"])
+def test_batch_throughput_topologies(benchmark, topology):
+    """The sweep beyond chains: every non-chain join-graph topology."""
+    def run():
+        return run_batch_throughput(
+            num_tables=SMOKE_TABLES, shape=topology,
+            num_queries=SMOKE_QUERIES, workers_list=(1,))
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    (point,) = points
+    assert point.failures == 0
+    assert point.shape == topology
+    benchmark.extra_info.update(point.as_dict())
+
+
 @pytest.mark.parametrize("scenario", ["cloud", "approx"])
 def test_streaming_throughput(benchmark, scenario):
     def run():
@@ -116,8 +131,11 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tables", type=int, nargs="+", default=[3, 4],
                         help="query sizes (tables per query) to sweep")
-    parser.add_argument("--shape", default="chain",
-                        choices=("chain", "star", "cycle", "clique"))
+    parser.add_argument("--topology", "--shape", dest="topology",
+                        default="chain",
+                        choices=("chain", "star", "cycle", "clique"),
+                        help="join graph topology of the generated "
+                             "workload (--shape is a legacy alias)")
     parser.add_argument("--scenario", default="cloud",
                         help="registered scenario to optimize under "
                              "(e.g. cloud, approx)")
@@ -137,11 +155,12 @@ def main() -> None:
     args = parser.parse_args()
     workers = args.workers
 
-    report: dict = {"scenario": args.scenario, "shape": args.shape}
+    report: dict = {"scenario": args.scenario,
+                    "topology": args.topology, "shape": args.topology}
     if args.streaming:
         points = [
             run_streaming_throughput(
-                num_tables=num_tables, shape=args.shape,
+                num_tables=num_tables, shape=args.topology,
                 num_queries=args.queries, workers=w,
                 scenario=args.scenario)
             for num_tables in args.tables for w in workers]
@@ -151,7 +170,7 @@ def main() -> None:
         points = []
         for num_tables in args.tables:
             points.extend(run_batch_throughput(
-                num_tables=num_tables, shape=args.shape,
+                num_tables=num_tables, shape=args.topology,
                 num_queries=args.queries, workers_list=workers,
                 scenario=args.scenario))
         print(format_throughput_table(points))
@@ -159,7 +178,7 @@ def main() -> None:
         pool_workers = max(workers)
         if pool_workers > 1:
             comparison = run_pool_comparison(
-                num_tables=min(args.tables), shape=args.shape,
+                num_tables=min(args.tables), shape=args.topology,
                 num_queries=args.queries, workers=pool_workers,
                 batches=args.batches, scenario=args.scenario)
             print()

@@ -1,0 +1,249 @@
+"""Perf-regression gate: compare benchmark artifacts against a baseline.
+
+CI's bench-smoke job produces JSON artifacts (pytest-benchmark output for
+the Figure 12 and ablation suites, the throughput harness's own report).
+This tool distills them into a flat set of *tracked metrics* and either
+
+* ``refresh`` — writes the metrics (with per-metric direction/tolerance/
+  gating defaults) to a baseline file committed under
+  ``benchmarks/baselines/``, or
+* ``compare`` — reads the committed baseline and **fails (exit 1) when a
+  gated metric regresses beyond its tolerance** (default 20%).
+
+Gated metrics are deterministic optimizer counters (#solved LPs, #created
+plans — the paper's own cost measures) plus the batched-vs-scalar kernel
+LP ratio, all of which are machine-independent: the benchmark workloads
+are derived from stable CRC32 seeds (see
+:func:`repro.bench.workloads.queries_for_point`), so the same code
+produces the same counters everywhere.  Wall-clock metrics (qps,
+emptiness seconds) are recorded and reported but not gated by default —
+shared CI runners make raw timings too noisy.
+
+Refreshing the baseline after an intentional perf change::
+
+    python -m pytest benchmarks/bench_fig12_chain.py \
+        --benchmark-only --benchmark-json=bench-fig12-chain.json
+    python -m pytest benchmarks/bench_ablation_refinements.py \
+        --benchmark-only --benchmark-json=bench-ablation.json
+    python benchmarks/bench_compare.py refresh \
+        --baseline benchmarks/baselines/bench-smoke.json \
+        --fig12 bench-fig12-chain.json --ablation bench-ablation.json
+
+PRs labeled ``perf-regression-ok`` skip the CI gate (see README).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Default allowed relative regression before a gated metric fails.
+DEFAULT_TOLERANCE = 0.2
+
+
+def _load(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _fig12_metrics(path: str) -> dict[str, dict]:
+    """Tracked metrics from a pytest-benchmark Figure 12 artifact."""
+    metrics: dict[str, dict] = {}
+    for bench in _load(path).get("benchmarks", []):
+        info = bench.get("extra_info", {})
+        if "tables" not in info:
+            continue
+        tag = (f"fig12.{info.get('shape', '?')}"
+               f".t{info['tables']}p{info.get('params', 1)}")
+        metrics[f"{tag}.lps_solved"] = {
+            "value": info["lps_solved"], "direction": "lower",
+            "tolerance": DEFAULT_TOLERANCE, "gate": True}
+        metrics[f"{tag}.plans_created"] = {
+            "value": info["plans_created"], "direction": "lower",
+            "tolerance": DEFAULT_TOLERANCE, "gate": True}
+        metrics[f"{tag}.seconds"] = {
+            "value": bench["stats"]["mean"], "direction": "lower",
+            "tolerance": DEFAULT_TOLERANCE, "gate": False}
+    return metrics
+
+
+def _ablation_metrics(path: str) -> dict[str, dict]:
+    """Tracked metrics from the refinement/kernel ablation artifact.
+
+    Besides the per-config LP counters this derives the batched/scalar
+    kernel ratios — the quantities that erode when the vectorized
+    kernels silently stop being used.
+    """
+    metrics: dict[str, dict] = {}
+    by_config: dict[str, dict] = {}
+    for bench in _load(path).get("benchmarks", []):
+        info = bench.get("extra_info", {})
+        config = info.get("config")
+        if not config:
+            continue
+        by_config[config] = {"lps_solved": info.get("lps_solved"),
+                             "emptiness_lp_seconds":
+                                 info.get("emptiness_lp_seconds"),
+                             "seconds": bench["stats"]["mean"]}
+        metrics[f"ablation.{config}.lps_solved"] = {
+            "value": info["lps_solved"], "direction": "lower",
+            "tolerance": DEFAULT_TOLERANCE, "gate": True}
+        if info.get("emptiness_lp_seconds") is not None:
+            metrics[f"ablation.{config}.emptiness_lp_seconds"] = {
+                "value": info["emptiness_lp_seconds"],
+                "direction": "lower",
+                "tolerance": DEFAULT_TOLERANCE, "gate": False}
+    batched = by_config.get("kernels_batched_kernels")
+    scalar = by_config.get("kernels_scalar_kernels")
+    if batched and scalar and scalar["lps_solved"]:
+        # Deterministic: the fraction of the scalar path's LPs the
+        # batched kernels actually solve.  Tighter tolerance — a full
+        # fallback to the scalar loops moves it by well under 20%.
+        metrics["ablation.kernels.lp_ratio"] = {
+            "value": batched["lps_solved"] / scalar["lps_solved"],
+            "direction": "lower", "tolerance": 0.08, "gate": True}
+        if scalar["emptiness_lp_seconds"]:
+            metrics["ablation.kernels.emptiness_seconds_ratio"] = {
+                "value": (batched["emptiness_lp_seconds"]
+                          / scalar["emptiness_lp_seconds"]),
+                "direction": "lower",
+                "tolerance": DEFAULT_TOLERANCE, "gate": False}
+    return metrics
+
+
+def _throughput_metrics(path: str) -> dict[str, dict]:
+    """Tracked metrics from the throughput harness JSON (informational:
+    queries/second on shared runners is too noisy to gate)."""
+    metrics: dict[str, dict] = {}
+    report = _load(path)
+    topology = report.get("topology", report.get("shape", "?"))
+    for point in report.get("throughput", []):
+        tag = (f"throughput.{point.get('scenario', '?')}.{topology}"
+               f".t{point['num_tables']}.w{point['workers']}")
+        metrics[f"{tag}.qps"] = {
+            "value": point["qps"], "direction": "higher",
+            "tolerance": DEFAULT_TOLERANCE, "gate": False}
+    for point in report.get("streaming", []):
+        tag = (f"streaming.{point.get('scenario', '?')}.{topology}"
+               f".t{point['num_tables']}.w{point['workers']}")
+        metrics[f"{tag}.qps"] = {
+            "value": point["qps"], "direction": "higher",
+            "tolerance": DEFAULT_TOLERANCE, "gate": False}
+    return metrics
+
+
+def collect_metrics(args) -> dict[str, dict]:
+    """Extract all tracked metrics from the provided artifacts."""
+    metrics: dict[str, dict] = {}
+    if args.fig12:
+        metrics.update(_fig12_metrics(args.fig12))
+    if args.ablation:
+        metrics.update(_ablation_metrics(args.ablation))
+    for path in args.throughput or ():
+        metrics.update(_throughput_metrics(path))
+    if not metrics:
+        raise SystemExit("no tracked metrics found in the given artifacts")
+    return metrics
+
+
+def _regression(baseline: dict, current: float) -> float:
+    """Relative movement of ``current`` in the *bad* direction (>= 0)."""
+    value = baseline["value"]
+    if value == 0:
+        return 0.0 if current == 0 else float("inf")
+    delta = ((current - value) if baseline["direction"] == "lower"
+             else (value - current))
+    return max(0.0, delta / abs(value))
+
+
+def run_compare(args) -> int:
+    baseline_doc = _load(args.baseline)
+    baseline = baseline_doc.get("metrics", {})
+    current = collect_metrics(args)
+    failures = []
+    rows = []
+    for name in sorted(baseline):
+        spec = baseline[name]
+        if name not in current:
+            # A gated metric that stops being produced would otherwise
+            # silently defeat the gate (e.g. a renamed config tag).
+            if spec.get("gate", False):
+                failures.append((name, spec["value"], float("nan"),
+                                 float("inf")))
+                rows.append((name, spec["value"], None, "MISSING (gated)"))
+            else:
+                rows.append((name, spec["value"], None, "missing"))
+            continue
+        now = current[name]["value"]
+        regression = _regression(spec, now)
+        gated = spec.get("gate", False)
+        tolerance = spec.get("tolerance", DEFAULT_TOLERANCE)
+        status = "ok"
+        if regression > tolerance:
+            status = "REGRESSED" if gated else "regressed (ungated)"
+            if gated:
+                failures.append((name, spec["value"], now, regression))
+        rows.append((name, spec["value"], now, status))
+    width = max(len(name) for name, *_ in rows)
+    print(f"{'metric':{width}}  {'baseline':>12}  {'current':>12}  status")
+    for name, base_value, now, status in rows:
+        now_text = "-" if now is None else f"{now:12.4g}"
+        print(f"{name:{width}}  {base_value:12.4g}  {now_text:>12}  "
+              f"{status}")
+    if failures:
+        print(f"\n{len(failures)} gated metric(s) regressed beyond "
+              f"tolerance:", file=sys.stderr)
+        for name, base_value, now, regression in failures:
+            if now != now:  # NaN marks a gated metric gone missing
+                print(f"  {name}: {base_value:.4g} -> missing from the "
+                      f"current artifacts", file=sys.stderr)
+            else:
+                print(f"  {name}: {base_value:.4g} -> {now:.4g} "
+                      f"(+{regression:.0%})", file=sys.stderr)
+        print("If intentional, refresh the baseline (see module "
+              "docstring) or label the PR 'perf-regression-ok'.",
+              file=sys.stderr)
+        return 0 if args.allow_regression else 1
+    print("\nall gated metrics within tolerance")
+    return 0
+
+
+def run_refresh(args) -> int:
+    doc = {
+        "generated_by": "benchmarks/bench_compare.py refresh",
+        "metrics": collect_metrics(args),
+    }
+    with open(args.baseline, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(doc['metrics'])} tracked metrics to "
+          f"{args.baseline}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("command", choices=("compare", "refresh"))
+    parser.add_argument("--baseline", required=True,
+                        help="baseline JSON path (read by compare, "
+                             "written by refresh)")
+    parser.add_argument("--fig12", default=None,
+                        help="pytest-benchmark JSON of the Figure 12 "
+                             "suite")
+    parser.add_argument("--ablation", default=None,
+                        help="pytest-benchmark JSON of the ablation "
+                             "suite")
+    parser.add_argument("--throughput", nargs="*", default=(),
+                        help="throughput harness JSON report(s)")
+    parser.add_argument("--allow-regression", action="store_true",
+                        help="report regressions but exit 0 (local "
+                             "experimentation)")
+    args = parser.parse_args()
+    if args.command == "refresh":
+        return run_refresh(args)
+    return run_compare(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

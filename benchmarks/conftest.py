@@ -32,6 +32,8 @@ def optimize_and_record(benchmark, point: SweepPoint,
         "plans_created": measurement.plans_created,
         "lps_solved": measurement.lps_solved,
         "pareto_plans": measurement.pareto_plans,
+        "lp_seconds": measurement.lp_seconds,
+        "emptiness_lp_seconds": measurement.emptiness_lp_seconds,
     })
     return measurement
 

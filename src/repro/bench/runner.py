@@ -50,6 +50,10 @@ class Measurement:
         plans_created: Plans generated (incl. pruned ones).
         lps_solved: Linear programs solved.
         pareto_plans: Size of the final Pareto plan set.
+        lp_seconds: Wall time spent inside LP backends.
+        emptiness_lp_seconds: LP wall time of the region-emptiness cost
+            center (the ``emptiness`` + ``chebyshev`` purposes) — the
+            quantity the batched geometry kernels shrink.
     """
 
     point: SweepPoint
@@ -57,6 +61,8 @@ class Measurement:
     plans_created: int
     lps_solved: int
     pareto_plans: int
+    lp_seconds: float = 0.0
+    emptiness_lp_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -98,7 +104,9 @@ def run_query_measurement(query, point: SweepPoint,
     return Measurement(point=point, seconds=stats.optimization_seconds,
                        plans_created=stats.plans_created,
                        lps_solved=stats.lps_solved,
-                       pareto_plans=len(result.entries))
+                       pareto_plans=len(result.entries),
+                       lp_seconds=stats.lp_seconds,
+                       emptiness_lp_seconds=stats.emptiness_lp_seconds)
 
 
 def run_point(point: SweepPoint, queries_per_point: int,

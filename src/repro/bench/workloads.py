@@ -13,6 +13,7 @@ provided: ``QUICK`` (used by the pytest-benchmark suite) and ``FULL``
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 from ..query import Query, QueryGenerator
@@ -89,13 +90,18 @@ def queries_for_point(point: SweepPoint, count: int,
                       base_seed: int = 0) -> list[Query]:
     """Generate the random queries evaluated at one sweep point.
 
-    Seeds are derived deterministically from the point so repeated runs
-    measure identical workloads.
+    Seeds are derived from the point via a *stable* digest (CRC32) so
+    repeated runs — across processes, Python versions and machines —
+    measure identical workloads.  This is what makes the deterministic
+    counter metrics (#LPs, #plans) comparable against the committed CI
+    perf baseline; the built-in ``hash`` would vary per process unless
+    ``PYTHONHASHSEED`` were pinned.
     """
     queries = []
     for i in range(count):
-        seed = hash((point.num_tables, point.shape, point.num_params,
-                     base_seed + i)) & 0x7FFFFFFF
+        tag = (f"{point.num_tables}:{point.shape}:{point.num_params}:"
+               f"{base_seed + i}")
+        seed = zlib.crc32(tag.encode("ascii")) & 0x7FFFFFFF
         generator = QueryGenerator(seed=seed)
         queries.append(generator.generate(
             num_tables=point.num_tables, shape=point.shape,

@@ -178,7 +178,13 @@ class PWLBackend(RRPABackend):
         return polys
 
     def dominance_many(self, costs_a, cost_b) -> list[list[ConvexPolytope]]:
-        """Vectorized ``Dom(a_k, b)`` over all aligned incumbents at once."""
+        """Vectorized ``Dom(a_k, b)`` over all aligned incumbents at once.
+
+        Unaligned batches fall back to pairwise ``Dom``, where each pair
+        runs the NumPy general-path kernel with batched emptiness LPs
+        (:meth:`MultiObjectivePWL._dominance_general_vectorized`) unless
+        ``REPRO_SCALAR_KERNELS=1`` forces the scalar piece-pair loops.
+        """
         if self.options.vectorized_pruning:
             batch = batch_dominance_aligned(
                 costs_a, cost_b, self.solver,

@@ -51,6 +51,24 @@ class OptimizerStats:
         """Number of linear programs solved during the run."""
         return self.lp_stats.solved
 
+    @property
+    def lp_seconds(self) -> float:
+        """Wall-clock time spent inside LP backends during the run."""
+        return self.lp_stats.seconds
+
+    @property
+    def emptiness_lp_seconds(self) -> float:
+        """LP wall time attributable to region emptiness maintenance.
+
+        Sums the ``"emptiness"`` (feasibility) and ``"chebyshev"``
+        (interior-fullness) purposes — the two LP families the
+        region-difference emptiness checks consist of, and the cost
+        center the batched geometry kernels target.
+        """
+        by_purpose = self.lp_stats.seconds_by_purpose()
+        return (by_purpose.get("emptiness", 0.0)
+                + by_purpose.get("chebyshev", 0.0))
+
     def summary(self) -> dict[str, float]:
         """Return the headline numbers as a plain dict (for reporting)."""
         return {
@@ -63,5 +81,7 @@ class OptimizerStats:
             "emptiness_checks_skipped": self.emptiness_checks_skipped,
             "lps_solved": self.lps_solved,
             "lp_cache_hits": self.lp_stats.cache_hits,
+            "lp_seconds": self.lp_seconds,
+            "emptiness_lp_seconds": self.emptiness_lp_seconds,
             "optimization_seconds": self.optimization_seconds,
         }

@@ -28,8 +28,9 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from ..errors import DimensionMismatchError, EmptyRegionError
-from ..geometry import ConvexPolytope, LinearConstraint
+from ..geometry import ConvexPolytope, LinearConstraint, emptiness_many
 from ..lp import LinearProgramSolver
+from ..util import scalar_kernels_enabled
 from .linear import LinearPiece
 
 
@@ -138,7 +139,11 @@ class PiecewiseLinearFunction:
         On the shared-partition fast path no LP is solved; otherwise each
         pair of piece regions is intersected and pairs with empty
         intersections are dropped (one emptiness LP each, mirroring the
-        "check if intersection is empty" step in the pseudo-code).
+        "check if intersection is empty" step in the pseudo-code).  The
+        general path sums the coefficient arrays of all piece pairs in
+        one NumPy pass and decides the pairwise emptiness LPs in one
+        batch (``REPRO_SCALAR_KERNELS=1`` selects the equivalent
+        per-piece-pair loop instead; the results are bit-identical).
 
         Args:
             other: The function to add.
@@ -153,6 +158,8 @@ class PiecewiseLinearFunction:
                                            self.partition_token)
         if solver is None:
             raise ValueError("solver required for unaligned PWL addition")
+        if not scalar_kernels_enabled():
+            return self._add_general_vectorized(other, solver)
         pieces = []
         for p1 in self.pieces:
             for p2 in other.pieces:
@@ -162,6 +169,37 @@ class PiecewiseLinearFunction:
                 pieces.append(LinearPiece(region=region,
                                           w=np.asarray(p1.w) + p2.w,
                                           b=p1.b + p2.b))
+        if not pieces:
+            raise EmptyRegionError("sum has no non-empty piece region")
+        return PiecewiseLinearFunction(self.dim, pieces)
+
+    def _add_general_vectorized(self, other: "PiecewiseLinearFunction",
+                                solver: LinearProgramSolver
+                                ) -> "PiecewiseLinearFunction":
+        """Unaligned addition with NumPy coefficient sums and batched LPs.
+
+        Mirrors the scalar general path of :meth:`add` pair for pair: the
+        summed weight vectors and base costs of all ``n1 * n2`` piece
+        pairs come out of one broadcast addition (bit-identical to the
+        per-pair float additions), and the pairwise intersection
+        emptiness checks are decided by one batched LP pass instead of
+        ``n1 * n2`` sequential solver calls.
+        """
+        n2 = len(other.pieces)
+        w_sum = (np.array([p.w for p in self.pieces])[:, None, :]
+                 + np.array([p.w for p in other.pieces])[None, :, :])
+        b_sum = (np.array([p.b for p in self.pieces])[:, None]
+                 + np.array([p.b for p in other.pieces])[None, :])
+        regions = [p1.region.intersect(p2.region)
+                   for p1 in self.pieces for p2 in other.pieces]
+        empty = emptiness_many(regions, solver)
+        pieces = []
+        for idx, region in enumerate(regions):
+            if empty[idx]:
+                continue
+            i, j = divmod(idx, n2)
+            pieces.append(LinearPiece(region=region, w=w_sum[i, j],
+                                      b=b_sum[i, j]))
         if not pieces:
             raise EmptyRegionError("sum has no non-empty piece region")
         return PiecewiseLinearFunction(self.dim, pieces)

@@ -13,9 +13,11 @@ from the parameter space leaves nothing (up to measure zero).
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from ..lp import LinearProgramSolver
+from ..util import scalar_kernels_enabled
+from .batchops import emptiness_many, has_interior_many
 from .polytope import INTERIOR_EPS, ConvexPolytope
 
 
@@ -66,6 +68,75 @@ def subtract_polytope(base: ConvexPolytope, cut: ConvexPolytope,
     return pieces
 
 
+def subtract_polytope_many(bases: Sequence[ConvexPolytope],
+                           cut: ConvexPolytope,
+                           solver: LinearProgramSolver,
+                           interior_eps: float = INTERIOR_EPS
+                           ) -> list[list[ConvexPolytope]]:
+    """Subtract one cut from many base polytopes with batched LPs.
+
+    Produces, for every base, exactly the piece list
+    :func:`subtract_polytope` would return, but assembles the underlying
+    LPs into three batched passes instead of interleaving them per base:
+
+    1. base emptiness (usually answered from the per-polytope cache),
+    2. the overlap fast path — one interior check per surviving base,
+    3. one interior check per candidate piece of every clipped base.
+
+    The scalar loop additionally solves a *prefix emptiness* LP after each
+    cut constraint purely to break out early; the batched form decides
+    every candidate piece directly, so those LPs disappear entirely
+    (pieces past a scalar early-exit lie inside an empty prefix and are
+    dropped by their own interior check, leaving the results identical).
+    With ``REPRO_SCALAR_KERNELS=1`` the scalar path runs instead.
+    """
+    if scalar_kernels_enabled():
+        return [subtract_polytope(base, cut, solver,
+                                  interior_eps=interior_eps)
+                for base in bases]
+    for base in bases:
+        if cut.dim != base.dim:
+            raise ValueError("dimension mismatch in polytope subtraction")
+    results: list[list[ConvexPolytope] | None] = [None] * len(bases)
+    empty = emptiness_many(bases, solver)
+    live: list[int] = []
+    for i, base in enumerate(bases):
+        if empty[i]:
+            results[i] = []
+        elif not cut.constraints:
+            # Subtracting the universe leaves nothing.
+            results[i] = []
+        else:
+            live.append(i)
+    # Fast path: cuts that miss a base entirely leave it unchanged.
+    overlaps = [bases[i].intersect(cut) for i in live]
+    overlap_interior = has_interior_many(overlaps, solver,
+                                         eps=interior_eps)
+    clipped: list[int] = []
+    for i, has_overlap in zip(live, overlap_interior):
+        if has_overlap:
+            clipped.append(i)
+        else:
+            results[i] = [bases[i]]
+    # Candidate pieces of every clipped base, in the scalar path's order:
+    # piece_k keeps the points violating cut constraint k while satisfying
+    # constraints 0..k-1.  Construction is LP-free; one batched interior
+    # pass decides which candidates survive.
+    candidates: list[ConvexPolytope] = []
+    spans: list[tuple[int, int, int]] = []  # (base index, start, stop)
+    for i in clipped:
+        start = len(candidates)
+        prefix = bases[i]
+        for constraint in cut.constraints:
+            candidates.append(prefix.with_constraint(constraint.negation()))
+            prefix = prefix.with_constraint(constraint)
+        spans.append((i, start, len(candidates)))
+    keep = has_interior_many(candidates, solver, eps=interior_eps)
+    for i, start, stop in spans:
+        results[i] = [candidates[k] for k in range(start, stop) if keep[k]]
+    return [pieces if pieces is not None else [] for pieces in results]
+
+
 def subtract_polytopes(base: ConvexPolytope,
                        cuts: Iterable[ConvexPolytope],
                        solver: LinearProgramSolver,
@@ -92,12 +163,10 @@ def subtract_polytopes(base: ConvexPolytope,
     for cut in cuts:
         if not pieces and stop_when_empty:
             return []
-        next_pieces: list[ConvexPolytope] = []
-        for piece in pieces:
-            next_pieces.extend(
-                subtract_polytope(piece, cut, solver,
-                                  interior_eps=interior_eps))
-        pieces = next_pieces
+        pieces = [piece
+                  for group in subtract_polytope_many(
+                      pieces, cut, solver, interior_eps=interior_eps)
+                  for piece in group]
     return pieces
 
 

@@ -33,7 +33,7 @@ import numpy as np
 from ..errors import DimensionMismatchError
 from ..lp import LinearProgramSolver
 from .convexity import union_as_polytope
-from .difference import subtract_polytope, subtract_polytopes
+from .difference import subtract_polytope_many, subtract_polytopes
 from .polytope import INTERIOR_EPS, ConvexPolytope
 
 #: Emptiness-check strategies accepted by :meth:`RelevanceRegion.is_empty`.
@@ -230,6 +230,7 @@ class RelevanceRegion:
         while self._pending and self._residual:
             cut = self._pending.pop(0)
             next_pieces: list[ConvexPolytope] = []
+            touched: list[ConvexPolytope] = []
             for piece in self._residual:
                 if (piece.cell_tag is not None
                         and cut.cell_tag is not None
@@ -244,8 +245,20 @@ class RelevanceRegion:
                     # The cut is an entire partition cell and the piece
                     # lies inside that cell: the piece disappears.
                     continue
-                next_pieces.extend(subtract_polytope(
-                    piece, cut, solver, interior_eps=interior_eps))
+                # Placeholder keeping the piece's position; the batched
+                # subtraction below fills it in.
+                next_pieces.append(None)
+                touched.append(piece)
+            if touched:
+                groups = iter(subtract_polytope_many(
+                    touched, cut, solver, interior_eps=interior_eps))
+                flattened: list[ConvexPolytope] = []
+                for entry in next_pieces:
+                    if entry is None:
+                        flattened.extend(next(groups))
+                    else:
+                        flattened.append(entry)
+                next_pieces = flattened
             self._residual = next_pieces
         if not self._residual:
             self._pending = []

@@ -3,7 +3,10 @@
 Public API:
 
 * :class:`LinearProgramSolver` / :func:`make_solver` — LP facade with
-  pluggable backends (scipy HiGHS or the built-in simplex).
+  pluggable backends (scipy HiGHS or the built-in simplex); its
+  :meth:`~LinearProgramSolver.solve_many` solves a batch of independent
+  LPs with memo-backed in-batch deduplication (the entry point of the
+  batched geometry kernels).
 * :class:`LPResult` — solve outcome.
 * :class:`LPResultCache` — bounded LRU memo over canonicalized LP inputs.
 * :func:`install_shared_lp_cache` / :func:`shared_lp_cache` — process-wide

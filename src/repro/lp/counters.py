@@ -26,6 +26,7 @@ class LPStats:
         cache_hits: Solves answered from an LP-result memo cache instead of
             a backend (not counted in ``solved`` — the paper's "#solved
             linear programs" metric reports actual solver work).
+        seconds: Total wall-clock time spent inside LP backends.
     """
 
     solved: int = 0
@@ -34,10 +35,13 @@ class LPStats:
     feasibility_checks: int = 0
     optimizations: int = 0
     cache_hits: int = 0
+    seconds: float = 0.0
     _by_purpose: dict[str, int] = field(default_factory=dict)
+    _seconds_by_purpose: dict[str, float] = field(default_factory=dict)
 
     def record(self, *, purpose: str = "generic", feasible: bool = True,
-               bounded: bool = True, objective: bool = True) -> None:
+               bounded: bool = True, objective: bool = True,
+               seconds: float = 0.0) -> None:
         """Record a solved LP.
 
         Args:
@@ -47,6 +51,7 @@ class LPStats:
             bounded: Whether the LP was bounded in the objective direction.
             objective: ``True`` when a real objective was optimized,
                 ``False`` for pure feasibility checks.
+            seconds: Wall-clock time the backend spent on this LP.
         """
         self.solved += 1
         if not feasible:
@@ -57,7 +62,10 @@ class LPStats:
             self.optimizations += 1
         else:
             self.feasibility_checks += 1
+        self.seconds += seconds
         self._by_purpose[purpose] = self._by_purpose.get(purpose, 0) + 1
+        self._seconds_by_purpose[purpose] = (
+            self._seconds_by_purpose.get(purpose, 0.0) + seconds)
 
     def record_cache_hit(self) -> None:
         """Record a solve answered from the memo cache (no solver work)."""
@@ -67,6 +75,10 @@ class LPStats:
         """Return a copy of the per-purpose LP counts."""
         return dict(self._by_purpose)
 
+    def seconds_by_purpose(self) -> dict[str, float]:
+        """Return a copy of the per-purpose backend wall-time totals."""
+        return dict(self._seconds_by_purpose)
+
     def reset(self) -> None:
         """Reset all counters to zero."""
         self.solved = 0
@@ -75,7 +87,9 @@ class LPStats:
         self.feasibility_checks = 0
         self.optimizations = 0
         self.cache_hits = 0
+        self.seconds = 0.0
         self._by_purpose.clear()
+        self._seconds_by_purpose.clear()
 
     def merge(self, other: "LPStats") -> None:
         """Add the counts of ``other`` into this instance."""
@@ -85,8 +99,12 @@ class LPStats:
         self.feasibility_checks += other.feasibility_checks
         self.optimizations += other.optimizations
         self.cache_hits += other.cache_hits
+        self.seconds += other.seconds
         for key, value in other._by_purpose.items():
             self._by_purpose[key] = self._by_purpose.get(key, 0) + value
+        for key, value in other._seconds_by_purpose.items():
+            self._seconds_by_purpose[key] = (
+                self._seconds_by_purpose.get(key, 0.0) + value)
 
 
 _DEFAULT = LPStats()

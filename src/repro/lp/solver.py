@@ -16,7 +16,9 @@ Two backends are available:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -213,19 +215,7 @@ class LinearProgramSolver:
         Raises:
             SolverError: If the backend fails in an unexpected way.
         """
-        c = np.asarray(c, dtype=float)
-        n = c.shape[0]
-        if bounds is None:
-            bounds = [(None, None)] * n
-        has_objective = bool(np.any(c != 0.0))
-
-        if a_ub is not None and len(a_ub) > 0:
-            a_ub = np.asarray(a_ub, dtype=float).reshape(-1, n)
-            b_ub = np.asarray(b_ub, dtype=float).reshape(-1)
-            if a_ub.shape[0] != b_ub.shape[0]:
-                raise SolverError("A_ub and b_ub row counts differ")
-        else:
-            a_ub, b_ub = None, None
+        c, a_ub, b_ub, bounds = self._prepare(c, a_ub, b_ub, bounds)
 
         key = None
         if self.cache is not None:
@@ -235,6 +225,73 @@ class LinearProgramSolver:
                 self.stats.record_cache_hit()
                 return cached
 
+        result = self._solve_prepared(c, a_ub, b_ub, bounds,
+                                      purpose=purpose)
+        if key is not None:
+            self.cache.put(key, result)
+        return result
+
+    def solve_many(self, problems: Sequence[tuple], *,
+                   purpose: str = "generic") -> list[LPResult]:
+        """Solve a batch of independent LPs.
+
+        The batched entry point of the geometry kernels.  Semantically
+        (results *and* accounting) it equals calling :meth:`solve` per
+        problem: every backend solve is recorded, every memoized answer
+        is a cache hit.  What the batch form buys today is memo-backed
+        deduplication — results solved earlier in the same batch answer
+        later duplicates, and the dominant emptiness-check workload of
+        relevance-region maintenance repeats many identical tiny LPs —
+        plus a single seam where a genuinely vectorized backend (stacked
+        simplex tableaus) can slot in later; the per-problem backend
+        pivots still run one LP at a time (see ROADMAP).
+
+        Args:
+            problems: Sequence of ``(c, a_ub, b_ub, bounds)`` tuples, each
+                accepted exactly as by :meth:`solve`.
+            purpose: Tag recorded in the LP statistics for every solve.
+
+        Returns:
+            One :class:`LPResult` per problem, in input order.
+        """
+        results: list[LPResult] = []
+        for c, a_ub, b_ub, bounds in problems:
+            c, a_ub, b_ub, bounds = self._prepare(c, a_ub, b_ub, bounds)
+            key = None
+            if self.cache is not None:
+                key = LPResultCache.make_key(c, a_ub, b_ub, bounds)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    self.stats.record_cache_hit()
+                    results.append(cached)
+                    continue
+            result = self._solve_prepared(c, a_ub, b_ub, bounds,
+                                          purpose=purpose)
+            if key is not None:
+                self.cache.put(key, result)
+            results.append(result)
+        return results
+
+    def _prepare(self, c, a_ub, b_ub, bounds) -> tuple:
+        """Normalize one LP's inputs to canonical arrays (shared by
+        :meth:`solve` and :meth:`solve_many`)."""
+        c = np.asarray(c, dtype=float)
+        n = c.shape[0]
+        if bounds is None:
+            bounds = [(None, None)] * n
+        if a_ub is not None and len(a_ub) > 0:
+            a_ub = np.asarray(a_ub, dtype=float).reshape(-1, n)
+            b_ub = np.asarray(b_ub, dtype=float).reshape(-1)
+            if a_ub.shape[0] != b_ub.shape[0]:
+                raise SolverError("A_ub and b_ub row counts differ")
+        else:
+            a_ub, b_ub = None, None
+        return c, a_ub, b_ub, bounds
+
+    def _solve_prepared(self, c, a_ub, b_ub, bounds, *,
+                        purpose: str) -> LPResult:
+        """Run the backend on prepared inputs and record the solve."""
+        started = time.perf_counter()
         if self.backend == "scipy":
             result = self._solve_scipy(c, a_ub, b_ub, bounds)
         elif self.backend == "simplex":
@@ -244,13 +301,11 @@ class LinearProgramSolver:
                 result = self._solve_simplex(c, a_ub, b_ub, bounds)
             except SolverError:
                 result = self._solve_scipy(c, a_ub, b_ub, bounds)
-
         self.stats.record(purpose=purpose,
                           feasible=not result.is_infeasible,
                           bounded=result.status != "unbounded",
-                          objective=has_objective)
-        if key is not None:
-            self.cache.put(key, result)
+                          objective=bool(np.any(c != 0.0)),
+                          seconds=time.perf_counter() - started)
         return result
 
     def feasible(self, a_ub, b_ub, bounds=None, *,

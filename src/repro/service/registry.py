@@ -24,10 +24,14 @@ Registering a new workload is one call::
     register_scenario("energy", lambda query, resolution: EnergyModel(
         query, resolution=resolution), metrics=ENERGY_METRICS)
 
-Worker processes of a pooled session resolve scenarios by *name* from the
-process-global default registry, which they inherit from the parent at
-pool spawn time (``fork`` start method): register custom scenarios before
-the first pooled call, or in a module the workers import.
+Worker processes of a pooled session receive the :class:`Scenario`
+object itself inside each task payload whenever it pickles (built-in
+scenarios and any registration whose factories are module-level
+functions do), so scenario resolution does not depend on fork-inherited
+registry state and works under the ``spawn`` start method.  Only
+unpicklable registrations (e.g. lambdas or closures) fall back to
+by-name resolution from the worker's process-global default registry —
+register those in a module the workers import.
 """
 
 from __future__ import annotations

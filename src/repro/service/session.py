@@ -42,6 +42,7 @@ free.
 
 from __future__ import annotations
 
+import pickle
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -104,11 +105,17 @@ def _optimize_payload(payload: tuple) -> tuple[int, dict, dict, float]:
     """Worker entry point: optimize one query, return serialized output.
 
     Module-level (not a closure) so process pools can pickle it.  The
-    scenario is resolved by name from the process-global default registry,
-    which pool workers inherit from the parent at spawn time.
+    payload carries the :class:`~repro.service.registry.Scenario` object
+    itself whenever it pickles (built-in scenarios and any scenario with
+    module-level factories do), so workers on spawn-based platforms do
+    not depend on fork-inherited registry state.  A ``None`` scenario is
+    the fallback for unpicklable registrations and resolves by name from
+    the worker's process-global default registry — which then must know
+    the name (register it in a module the workers import).
     """
-    index, scenario_name, query, resolution, options = payload
-    scenario = default_registry().get(scenario_name)
+    index, scenario_name, scenario, query, resolution, options = payload
+    if scenario is None:
+        scenario = default_registry().get(scenario_name)
     started = time.perf_counter()
     result = scenario.optimize(query, resolution=resolution,
                                options=options)
@@ -148,9 +155,17 @@ class OptimizerSession:
         cache: Warm-start cache to share; a private one is created when
             omitted.
         registry: Scenario registry; the process-global default when
-            omitted.  Pooled workers always resolve scenario names from
-            the default registry (inherited at pool spawn), so custom
-            registries are only honored on the serial path.
+            omitted.  Scenarios are *shipped* to pooled workers inside
+            each task payload whenever they pickle (built-in scenarios
+            and any registration with module-level factories do), so
+            custom registries work with pooled sessions on both fork- and
+            spawn-based platforms.  Unpicklable registrations fall back
+            to by-name resolution from the worker's default registry,
+            which then must have the name registered in a module the
+            workers import.
+        mp_context: Optional :mod:`multiprocessing` context for the
+            worker pool (e.g. ``multiprocessing.get_context("spawn")``);
+            the platform default when omitted.
         lp_memo_size: Capacity of the session-scoped LP-result memo
             (``0`` disables cross-run LP memoization entirely — serial
             runs and pool workers then fall back to the optimizer's
@@ -171,6 +186,7 @@ class OptimizerSession:
                  warm_start: bool = True,
                  cache: WarmStartCache | None = None,
                  registry: ScenarioRegistry | None = None,
+                 mp_context=None,
                  lp_memo_size: int = 65536,
                  lp_memo: LPResultCache | None = None) -> None:
         if workers < 0:
@@ -194,9 +210,14 @@ class OptimizerSession:
         else:
             self.lp_memo = (LPResultCache(lp_memo_size)
                             if lp_memo_size > 0 else None)
+        self.mp_context = mp_context
         self._pool: ProcessPoolExecutor | None = None
         self._closed = False
         self._timed_out = False
+        #: Per-name shipping decision, keyed to the scenario instance it
+        #: was made for: ``(scenario, scenario-or-None)`` — ``None``
+        #: selects the by-name worker fallback for unpicklable entries.
+        self._ship_cache: dict[str, tuple] = {}
         #: Times a worker pool was spawned; stays at 1 across any number
         #: of batch calls (the regression the legacy engine had).
         self.pool_spawns = 0
@@ -259,11 +280,13 @@ class OptimizerSession:
                 # lifetime, seeded with whatever the session memo holds.
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
+                    mp_context=self.mp_context,
                     initializer=_worker_init,
                     initargs=(self.lp_memo.export(
                         limit=WORKER_SEED_LIMIT), self.lp_memo.maxsize))
             else:  # cross-run memoization disabled
-                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=self.mp_context)
             self.pool_spawns += 1
         return self._pool
 
@@ -309,6 +332,29 @@ class OptimizerSession:
                                resolution=self.resolution,
                                options=self.options)
 
+    def _shipped_scenario(self, scenario_name: str):
+        """Scenario object to embed in pooled payloads (memoized).
+
+        Returns the registry's :class:`Scenario` when it pickles —
+        workers then use it directly, independent of their own registry
+        state (spawn-safe) — and ``None`` when it does not, selecting the
+        worker-side by-name fallback.  The picklability decision is
+        memoized per *scenario instance*, so re-registering a name with
+        ``replace=True`` mid-session is picked up (the pooled path then
+        ships the new scenario exactly as the serial path resolves it).
+        """
+        scenario = self.registry.get(scenario_name)
+        cached = self._ship_cache.get(scenario_name)
+        if cached is None or cached[0] is not scenario:
+            try:
+                pickle.dumps(scenario)
+            except Exception:
+                cached = (scenario, None)
+            else:
+                cached = (scenario, scenario)
+            self._ship_cache[scenario_name] = cached
+        return cached[1]
+
     def _cached_item(self, index: int, signature: str,
                      scenario_name: str) -> BatchItem | None:
         """Warm-start lookup; ``None`` on miss or undecodable entry."""
@@ -347,9 +393,12 @@ class OptimizerSession:
         if self.lp_memo is not None:
             previous = install_shared_lp_cache(self.lp_memo)
         try:
+            # Serial runs pass the session registry's scenario object
+            # directly (no pickling involved), so custom registries are
+            # honored without any default-registry registration.
             __, doc, stats, seconds = _optimize_payload(
-                (index, scenario_name, query, self.resolution,
-                 self.options))
+                (index, scenario_name, self.registry.get(scenario_name),
+                 query, self.resolution, self.options))
         except Exception as exc:  # error isolation per query
             return self._error_item(index, signature, scenario_name,
                                     "error", f"{type(exc).__name__}: {exc}")
@@ -370,8 +419,9 @@ class OptimizerSession:
         deadline-driven cancellation.
         """
         item_future: Future = Future()
-        payload = (index, scenario_name, query, self.resolution,
-                   self.options)
+        payload = (index, scenario_name,
+                   self._shipped_scenario(scenario_name), query,
+                   self.resolution, self.options)
         try:
             raw = self._ensure_pool().submit(_optimize_payload, payload)
         except BrokenProcessPool:
