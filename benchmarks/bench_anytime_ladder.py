@@ -1,0 +1,97 @@
+"""Time-to-first-guarantee: the anytime precision-ladder benchmark.
+
+The anytime engine's promise is a *guaranteed* Pareto plan set long
+before the exact one is ready: coarse alpha-dominance rungs finish in a
+fraction of the exact run's LPs, and each rung warm-starts the next
+(plan-cost memo + LP memo), so the full ladder lands near the direct
+exact run's cost.  This benchmark measures, per scenario:
+
+* time (and #LPs) until the **first** rung completes — the latency to
+  the first valid ``(1 + alpha)``-guaranteed plan set;
+* per-rung plan counts and cumulative LP counters — deterministic
+  (stable CRC-seeded workloads), so they join the gated CI perf
+  baseline via ``bench_compare.py --anytime``;
+* the full-ladder vs. direct-exact totals — the warm-starting check.
+
+Run under pytest-benchmark::
+
+    pytest benchmarks/bench_anytime_ladder.py --benchmark-only
+
+or standalone (prints the table, optionally dumps JSON)::
+
+    python benchmarks/bench_anytime_ladder.py --scenario approx
+    python benchmarks/bench_anytime_ladder.py --ladder 0.5,0.2,0.05,0.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+import pytest
+
+from repro.bench import format_anytime_ladder, run_anytime_ladder
+
+#: Tiny sweep used by the pytest entry points (CI smoke friendly).
+SMOKE_QUERIES = 3
+SMOKE_TABLES = 4
+
+
+@pytest.mark.parametrize("scenario", ["cloud", "approx"])
+def test_anytime_ladder(benchmark, scenario):
+    def run():
+        return run_anytime_ladder(
+            num_tables=SMOKE_TABLES, shape="chain",
+            num_queries=SMOKE_QUERIES, scenario=scenario)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The coarsest rung must deliver a guarantee strictly before exact.
+    assert report.rungs[0].seconds < report.ladder_seconds
+    assert report.first_guarantee_seconds < report.direct_seconds
+    # The final rung is exact.
+    assert report.rungs[-1].alpha == 0.0
+    assert report.rungs[-1].guarantee == 1.0
+    benchmark.extra_info.update(report.as_dict())
+
+
+def _ladder(text: str) -> tuple[float, ...]:
+    try:
+        return tuple(float(a) for a in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated alphas, got {text!r}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", default="cloud",
+                        help="registered scenario to optimize under "
+                             "(e.g. cloud, approx)")
+    parser.add_argument("--tables", type=int, default=SMOKE_TABLES,
+                        help="tables per generated query")
+    parser.add_argument("--shape", default="chain",
+                        choices=("chain", "star", "cycle", "clique"),
+                        help="join graph topology of the workload")
+    parser.add_argument("--queries", type=int, default=SMOKE_QUERIES,
+                        help="distinct queries to aggregate over")
+    parser.add_argument("--ladder", type=_ladder, default=None,
+                        help="comma-separated precision ladder "
+                             "(default 0.5,0.2,0.05,0.0)")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the full report as JSON to this path")
+    args = parser.parse_args()
+
+    report = run_anytime_ladder(
+        num_tables=args.tables, shape=args.shape,
+        num_queries=args.queries, scenario=args.scenario,
+        ladder=args.ladder)
+    print(format_anytime_ladder(report))
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+        print(f"\nwrote {os.path.abspath(args.json_path)}")
+
+
+if __name__ == "__main__":
+    main()

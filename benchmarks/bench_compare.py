@@ -19,15 +19,29 @@ produces the same counters everywhere.  Wall-clock metrics (qps,
 emptiness seconds) are recorded and reported but not gated by default —
 shared CI runners make raw timings too noisy.
 
-Refreshing the baseline after an intentional perf change::
+Refreshing the baseline after an intentional perf change — pass **all**
+artifact families (compare iterates baseline keys only, so omitting a
+family from the refresh silently removes its gates)::
 
     python -m pytest benchmarks/bench_fig12_chain.py \
         --benchmark-only --benchmark-json=bench-fig12-chain.json
     python -m pytest benchmarks/bench_ablation_refinements.py \
         --benchmark-only --benchmark-json=bench-ablation.json
+    python benchmarks/bench_batch_throughput.py --tables 3 --queries 4 \
+        --workers 1,2,4 --json bench-batch-throughput.json
+    python benchmarks/bench_batch_throughput.py --topology star \
+        --tables 3 --queries 4 --workers 1,2 \
+        --json bench-topology-star.json
+    python benchmarks/bench_anytime_ladder.py --scenario cloud \
+        --json bench-anytime-cloud.json
+    python benchmarks/bench_anytime_ladder.py --scenario approx \
+        --json bench-anytime-approx.json
     python benchmarks/bench_compare.py refresh \
         --baseline benchmarks/baselines/bench-smoke.json \
-        --fig12 bench-fig12-chain.json --ablation bench-ablation.json
+        --fig12 bench-fig12-chain.json --ablation bench-ablation.json \
+        --throughput bench-batch-throughput.json \
+        bench-topology-star.json \
+        --anytime bench-anytime-cloud.json bench-anytime-approx.json
 
 PRs labeled ``perf-regression-ok`` skip the CI gate (see README).
 """
@@ -112,6 +126,44 @@ def _ablation_metrics(path: str) -> dict[str, dict]:
     return metrics
 
 
+def _anytime_metrics(path: str) -> dict[str, dict]:
+    """Tracked metrics from a time-to-first-guarantee ladder report.
+
+    Per-rung cumulative LP counters and the direct-exact LP total are
+    deterministic (stable CRC-seeded workloads) and gated; wall-clock
+    derived values (time-to-first-guarantee, ladder overhead) are
+    informational.
+    """
+    metrics: dict[str, dict] = {}
+    report = _load(path)
+    tag = (f"anytime.{report.get('scenario', '?')}"
+           f".{report.get('shape', '?')}.t{report.get('num_tables', '?')}")
+    for rung in report.get("rungs", []):
+        rung_tag = f"{tag}.rung{rung['rung']}_a{rung['alpha']:g}"
+        metrics[f"{rung_tag}.lps_solved"] = {
+            "value": rung["lps_solved"], "direction": "lower",
+            "tolerance": DEFAULT_TOLERANCE, "gate": True}
+        metrics[f"{rung_tag}.seconds"] = {
+            "value": rung["seconds"], "direction": "lower",
+            "tolerance": DEFAULT_TOLERANCE, "gate": False}
+    if report.get("direct_lps"):
+        metrics[f"{tag}.direct_lps"] = {
+            "value": report["direct_lps"], "direction": "lower",
+            "tolerance": DEFAULT_TOLERANCE, "gate": True}
+        # Deterministic warm-start check: the whole ladder's LPs as a
+        # multiple of the direct exact run's.  Erodes when cross-rung
+        # warm-starting (cost memo + LP memo) silently stops working.
+        metrics[f"{tag}.ladder_lp_ratio"] = {
+            "value": report["ladder_lps"] / report["direct_lps"],
+            "direction": "lower", "tolerance": DEFAULT_TOLERANCE,
+            "gate": True}
+    metrics[f"{tag}.first_guarantee_seconds"] = {
+        "value": report.get("first_guarantee_seconds", 0.0),
+        "direction": "lower", "tolerance": DEFAULT_TOLERANCE,
+        "gate": False}
+    return metrics
+
+
 def _throughput_metrics(path: str) -> dict[str, dict]:
     """Tracked metrics from the throughput harness JSON (informational:
     queries/second on shared runners is too noisy to gate)."""
@@ -142,6 +194,8 @@ def collect_metrics(args) -> dict[str, dict]:
         metrics.update(_ablation_metrics(args.ablation))
     for path in args.throughput or ():
         metrics.update(_throughput_metrics(path))
+    for path in args.anytime or ():
+        metrics.update(_anytime_metrics(path))
     if not metrics:
         raise SystemExit("no tracked metrics found in the given artifacts")
     return metrics
@@ -236,6 +290,9 @@ def main() -> int:
                              "suite")
     parser.add_argument("--throughput", nargs="*", default=(),
                         help="throughput harness JSON report(s)")
+    parser.add_argument("--anytime", nargs="*", default=(),
+                        help="anytime-ladder (time-to-first-guarantee) "
+                             "JSON report(s)")
     parser.add_argument("--allow-regression", action="store_true",
                         help="report regressions but exit 0 (local "
                              "experimentation)")

@@ -19,13 +19,30 @@ sets and the LP-result memo, shipped to workers), and resolves cost-model
 workloads through the scenario registry — ``"cloud"`` and ``"approx"``
 are built in, and :func:`register_scenario` adds new ones in one call.
 
+Anytime optimization rides on the same session::
+
+    # Best guaranteed plan set within the budget (serial or pooled):
+    item = session.optimize(query, precision=0.0,
+                            budget=Budget(seconds=0.5))
+    item.alpha, item.guarantee   # achieved rung + (1+alpha)^n bound
+    # Streaming refinement over a precision ladder:
+    for event in session.optimize_iter(
+            query, precision_ladder=[0.5, 0.2, 0.05, 0.0]):
+        if event.kind == "rung_completed":
+            serve(event.plan_set)  # valid within event.guarantee
+
+See :mod:`repro.core.run` for the underlying resumable
+:class:`OptimizationRun` engine.
+
 For one-off scripts, :func:`optimize_query` optimizes a single query
 under a named scenario without session ceremony.
 """
 
 from __future__ import annotations
 
-from .core import OptimizationResult, PWLRRPAOptions
+from .core import (DEFAULT_PRECISION_LADDER, Budget, OptimizationResult,
+                   OptimizationRun, ProgressEvent, PWLRRPAOptions,
+                   guarantee_bound, ladder_to)
 from .query import Query
 from .service.cache import WarmStartCache
 from .service.registry import (Scenario, ScenarioRegistry,
@@ -35,16 +52,22 @@ from .service.session import STATUSES, BatchItem, OptimizerSession
 from .service.signature import query_signature, signature_document
 
 __all__ = [
+    "Budget",
+    "DEFAULT_PRECISION_LADDER",
     "STATUSES",
     "BatchItem",
+    "OptimizationRun",
     "OptimizerSession",
     "PWLRRPAOptions",
+    "ProgressEvent",
     "Scenario",
     "ScenarioRegistry",
     "WarmStartCache",
     "available_scenarios",
     "default_registry",
     "get_scenario",
+    "guarantee_bound",
+    "ladder_to",
     "optimize_query",
     "query_signature",
     "register_scenario",

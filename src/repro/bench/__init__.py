@@ -2,10 +2,12 @@
 (batch, streaming, pool-regime) reporting."""
 
 from .reporting import (ascii_log_chart, figure12_report,
-                        format_pool_comparison, format_streaming_table,
-                        format_throughput_table, format_table)
-from .runner import (PAPER_FAITHFUL, AggregatedPoint, Measurement,
-                     StreamingPoint, ThroughputPoint,
+                        format_anytime_ladder, format_pool_comparison,
+                        format_streaming_table, format_throughput_table,
+                        format_table)
+from .runner import (PAPER_FAITHFUL, AggregatedPoint, AnytimeLadderReport,
+                     AnytimeRungPoint, Measurement, StreamingPoint,
+                     ThroughputPoint, run_anytime_ladder,
                      run_batch_throughput, run_point, run_pool_comparison,
                      run_query_measurement, run_streaming_throughput,
                      run_sweep)
@@ -17,6 +19,8 @@ __all__ = [
     "PAPER_FAITHFUL",
     "QUICK",
     "AggregatedPoint",
+    "AnytimeLadderReport",
+    "AnytimeRungPoint",
     "Measurement",
     "StreamingPoint",
     "SweepPoint",
@@ -24,11 +28,13 @@ __all__ = [
     "ThroughputPoint",
     "ascii_log_chart",
     "figure12_report",
+    "format_anytime_ladder",
     "format_pool_comparison",
     "format_streaming_table",
     "format_table",
     "format_throughput_table",
     "queries_for_point",
+    "run_anytime_ladder",
     "run_batch_throughput",
     "run_point",
     "run_pool_comparison",

@@ -11,7 +11,8 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from .runner import AggregatedPoint, StreamingPoint, ThroughputPoint
+from .runner import (AggregatedPoint, AnytimeLadderReport, StreamingPoint,
+                     ThroughputPoint)
 
 
 def format_table(points: Sequence[AggregatedPoint]) -> str:
@@ -84,6 +85,26 @@ def format_streaming_table(points: Sequence[StreamingPoint]) -> str:
             f"{sp.queries:>8} {sp.workers:>8} {sp.seconds:>10.3f} "
             f"{sp.first_result_seconds:>9.3f} {sp.qps:>8.2f} "
             f"{sp.failures:>5}")
+    return "\n".join(lines)
+
+
+def format_anytime_ladder(report: AnytimeLadderReport) -> str:
+    """Render a time-to-first-guarantee report as an aligned table."""
+    header = (f"{'rung':>4} {'alpha':>6} {'bound':>7} {'plans':>6} "
+              f"{'#LPs':>8} {'time[s]':>9}")
+    lines = [f"anytime ladder — {report.scenario}, {report.shape}, "
+             f"{report.num_tables} tables, {report.queries} queries",
+             header, "-" * len(header)]
+    for rung in report.rungs:
+        lines.append(
+            f"{rung.rung:>4} {rung.alpha:>6.2f} {rung.guarantee:>7.3f} "
+            f"{rung.plan_count:>6} {rung.lps_solved:>8} "
+            f"{rung.seconds:>9.3f}")
+    lines.append(
+        f"first guarantee after {report.first_guarantee_seconds:.3f}s "
+        f"(direct exact: {report.direct_seconds:.3f}s, "
+        f"{report.direct_lps} LPs; full ladder: "
+        f"{report.ladder_seconds:.3f}s, {report.ladder_lps} LPs)")
     return "\n".join(lines)
 
 

@@ -301,6 +301,149 @@ def run_streaming_throughput(num_tables: int = 4, shape: str = "chain",
         failures=failures)
 
 
+@dataclass(frozen=True)
+class AnytimeRungPoint:
+    """Aggregated measurements of one precision-ladder rung.
+
+    All values are summed over the point's queries.  The LP and plan
+    counters are deterministic (stable CRC-seeded workloads), so they
+    join the gated CI perf baseline; timings are informational.
+
+    Attributes:
+        rung: Ladder position (0 = coarsest).
+        alpha: The rung's approximation factor.
+        guarantee: End-to-end ``(1 + alpha) ** tables`` cost bound.
+        lps_solved: LPs solved by the time the rung completed
+            (cumulative within each run, summed over queries).
+        plan_count: Final Pareto-set sizes at this rung, summed.
+        seconds: Wall-clock seconds to reach the rung's completion
+            (cumulative within each run, summed over queries).
+    """
+
+    rung: int
+    alpha: float
+    guarantee: float
+    lps_solved: int
+    plan_count: int
+    seconds: float
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (used by the CI bench artifact)."""
+        return {"rung": self.rung, "alpha": self.alpha,
+                "guarantee": self.guarantee,
+                "lps_solved": self.lps_solved,
+                "plan_count": self.plan_count, "seconds": self.seconds}
+
+
+@dataclass(frozen=True)
+class AnytimeLadderReport:
+    """Time-to-first-guarantee benchmark of the anytime engine.
+
+    Compares a full precision-ladder run (coarse rungs first, each rung
+    warm-starting the next) against the direct exact run for the same
+    queries: how quickly is the *first* guaranteed plan set available,
+    and what does the ladder's warm-starting save on the way to exact?
+
+    Attributes:
+        scenario / shape / num_tables / queries: Workload description.
+        ladder: The precision ladder swept.
+        rungs: Per-rung aggregates (see :class:`AnytimeRungPoint`).
+        first_guarantee_seconds: Summed wall-clock until the coarsest
+            rung completed — the latency to the first valid guarantee.
+        ladder_seconds: Summed wall-clock for the whole ladder.
+        ladder_lps: Summed LPs solved by the whole ladder.
+        direct_seconds: Summed wall-clock of the direct exact runs.
+        direct_lps: Summed LPs solved by the direct exact runs.
+    """
+
+    scenario: str
+    shape: str
+    num_tables: int
+    queries: int
+    ladder: tuple[float, ...]
+    rungs: tuple[AnytimeRungPoint, ...]
+    first_guarantee_seconds: float
+    ladder_seconds: float
+    ladder_lps: int
+    direct_seconds: float
+    direct_lps: int
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (used by the CI bench artifact)."""
+        return {"scenario": self.scenario, "shape": self.shape,
+                "num_tables": self.num_tables, "queries": self.queries,
+                "ladder": list(self.ladder),
+                "rungs": [r.as_dict() for r in self.rungs],
+                "first_guarantee_seconds": self.first_guarantee_seconds,
+                "ladder_seconds": self.ladder_seconds,
+                "ladder_lps": self.ladder_lps,
+                "direct_seconds": self.direct_seconds,
+                "direct_lps": self.direct_lps}
+
+
+def run_anytime_ladder(num_tables: int = 4, shape: str = "chain",
+                       num_queries: int = 3, resolution: int = 2,
+                       scenario: str = "cloud",
+                       ladder: tuple[float, ...] | None = None,
+                       base_seed: int = 0) -> AnytimeLadderReport:
+    """Measure time-to-first-guarantee over a precision ladder.
+
+    Each query runs once through the full ladder (collecting per-rung
+    completion times, plan counts and LP counters from the run's
+    progress events) and once through the direct exact path for
+    comparison.  Workload seeds are stable CRC32 digests (see
+    :func:`repro.bench.workloads.queries_for_point`), so the counter
+    aggregates are machine-independent and join the CI perf baseline.
+    """
+    from ..core.run import DEFAULT_PRECISION_LADDER, guarantee_bound
+    from ..service.registry import get_scenario
+
+    if ladder is None:
+        ladder = DEFAULT_PRECISION_LADDER
+    ladder = tuple(float(a) for a in ladder)
+    point = SweepPoint(num_tables=num_tables, shape=shape, num_params=1,
+                       resolution=resolution)
+    queries = queries_for_point(point, num_queries, base_seed=base_seed)
+    scn = get_scenario(scenario)
+    rung_lps = [0] * len(ladder)
+    rung_plans = [0] * len(ladder)
+    rung_seconds = [0.0] * len(ladder)
+    first_guarantee = 0.0
+    ladder_seconds = 0.0
+    ladder_lps = 0
+    direct_seconds = 0.0
+    direct_lps = 0
+    for query in queries:
+        run = scn.start_run(query, resolution=resolution,
+                            precision_ladder=ladder)
+        run.run()
+        completions = [event for event in run.events
+                       if event.kind == "rung_completed"]
+        first_guarantee += completions[0].seconds
+        ladder_seconds += run.elapsed_seconds
+        ladder_lps += run.lps_solved
+        for event in completions:
+            rung_lps[event.rung] += event.lps_solved
+            rung_plans[event.rung] += event.plan_count
+            rung_seconds[event.rung] += event.seconds
+        direct = scn.optimize(query, resolution=resolution)
+        direct_seconds += direct.stats.optimization_seconds
+        direct_lps += direct.stats.lps_solved
+    rungs = tuple(
+        AnytimeRungPoint(rung=index, alpha=alpha,
+                         guarantee=guarantee_bound(alpha, num_tables),
+                         lps_solved=rung_lps[index],
+                         plan_count=rung_plans[index],
+                         seconds=rung_seconds[index])
+        for index, alpha in enumerate(ladder))
+    return AnytimeLadderReport(
+        scenario=scenario, shape=shape, num_tables=num_tables,
+        queries=len(queries), ladder=ladder, rungs=rungs,
+        first_guarantee_seconds=first_guarantee,
+        ladder_seconds=ladder_seconds, ladder_lps=ladder_lps,
+        direct_seconds=direct_seconds, direct_lps=direct_lps)
+
+
 def run_pool_comparison(num_tables: int = 3, shape: str = "chain",
                         num_queries: int = 4, workers: int = 2,
                         batches: int = 2, resolution: int = 2,

@@ -21,29 +21,44 @@ from .grid import GridBackend, GridCost, GridRegion, make_grid
 from .pwl_backend import PWLBackend, PWLRRPAOptions
 from .pwl_rrpa import PWLRRPA, optimize_cloud_query
 from .rrpa import RRPA, OptimizationResult, optimize_with
+from .run import (DEFAULT_PRECISION_LADDER, RUN_COMPLETED, RUN_EXHAUSTED,
+                  RUN_RUNG_DONE, RUN_STOPPED, Budget, OptimizationRun,
+                  ProgressEvent, RungOutcome, guarantee_bound, ladder_to,
+                  validate_ladder)
 from .selection import PlanSelector, SelectedPlan
 from .serialize import (StoredPlanSet, decode_plan_set, encode_result,
                         load_plan_set, save_result)
 from .stats import OptimizerStats
 
 __all__ = [
+    "Budget",
+    "DEFAULT_PRECISION_LADDER",
     "GridBackend",
     "GridCost",
     "GridRegion",
     "OptimizationResult",
+    "OptimizationRun",
     "OptimizerStats",
     "PWLBackend",
     "PWLRRPA",
     "PWLRRPAOptions",
     "PlanEntry",
     "PlanSelector",
+    "ProgressEvent",
     "RRPA",
     "RRPABackend",
+    "RUN_COMPLETED",
+    "RUN_EXHAUSTED",
+    "RUN_RUNG_DONE",
+    "RUN_STOPPED",
+    "RungOutcome",
     "SelectedPlan",
     "StoredPlanSet",
     "count_considered_splits",
     "decode_plan_set",
     "encode_result",
+    "guarantee_bound",
+    "ladder_to",
     "load_plan_set",
     "make_grid",
     "optimize_cloud_query",

@@ -65,6 +65,26 @@ class RRPABackend(ABC):
         """``Dom(a, b_k)`` for one cost against a batch of costs."""
         return [self.dominance(cost_a, cost_b) for cost_b in costs_b]
 
+    @property
+    def approximation_factor(self) -> float:
+        """Alpha the backend currently prunes with (0 = exact).
+
+        Backends without alpha-dominance support report 0 (their pruning
+        is exact by construction).
+        """
+        return 0.0
+
+    def set_approximation_factor(self, alpha: float) -> None:
+        """Switch the backend to alpha-dominance pruning at ``alpha``.
+
+        Required only for multi-rung precision ladders
+        (:class:`repro.core.run.OptimizationRun`); backends without
+        alpha support simply cannot be laddered.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support precision ladders "
+            f"(no alpha-dominance pruning)")
+
     @abstractmethod
     def reduce_region(self, region: Any, dominated: Any) -> None:
         """Reduce ``region`` by a dominance region, in place."""

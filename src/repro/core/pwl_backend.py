@@ -17,7 +17,7 @@ functions:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 from ..cost import (MultiObjectivePWL, accumulator_map,
@@ -203,6 +203,20 @@ class PWLBackend(RRPABackend):
             if batch is not None:
                 return [self._simplified(polys) for polys in batch]
         return [self.dominance(cost_a, cost_b) for cost_b in costs_b]
+
+    @property
+    def approximation_factor(self) -> float:
+        """Alpha of the backend's alpha-dominance pruning (0 = exact)."""
+        return self.options.approximation_factor
+
+    def set_approximation_factor(self, alpha: float) -> None:
+        """Re-target the backend's alpha-dominance pruning.
+
+        Used by precision-ladder runs between rungs; every other option
+        (and the solver with its LP memo) is kept, so LP results from
+        coarser rungs keep hitting.
+        """
+        self.options = replace(self.options, approximation_factor=alpha)
 
     def reduce_region(self, region: RelevanceRegion,
                       dominated: list[ConvexPolytope]) -> None:

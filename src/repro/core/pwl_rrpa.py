@@ -17,7 +17,8 @@ import warnings
 
 from ..query import Query
 from .pwl_backend import PWLBackend, PWLRRPAOptions
-from .rrpa import RRPA, OptimizationResult
+from .rrpa import OptimizationResult
+from .run import OptimizationRun
 from .stats import OptimizerStats
 
 
@@ -46,25 +47,51 @@ class PWLRRPA:
 
     def optimize(self, query: Query) -> OptimizationResult:
         """Optimize a query, building the cost model via the factory."""
-        if self.cost_model_factory is None:
-            raise ValueError("no cost model factory configured")
-        return self.optimize_with_model(query,
-                                        self.cost_model_factory(query))
+        return self.optimize_with_model(query, self._build_model(query))
 
     def optimize_with_model(self, query: Query,
                             cost_model) -> OptimizationResult:
-        """Optimize a query with an explicit cost model instance."""
+        """Optimize a query with an explicit cost model instance.
+
+        A thin run-to-completion wrapper over :meth:`start_run_with_model`
+        — one rung at ``options.approximation_factor`` (exact by
+        default), bit-identical to the pre-anytime engine.
+        """
+        run = self.start_run_with_model(query, cost_model)
+        run.run()
+        return run.result()
+
+    def _build_model(self, query: Query):
+        if self.cost_model_factory is None:
+            raise ValueError("no cost model factory configured")
+        return self.cost_model_factory(query)
+
+    def start_run(self, query: Query, *, precision_ladder=None,
+                  on_event=None) -> "OptimizationRun":
+        """Create a resumable run, building the cost model via the
+        factory (see :meth:`start_run_with_model`)."""
+        return self.start_run_with_model(
+            query, self._build_model(query),
+            precision_ladder=precision_ladder, on_event=on_event)
+
+    def start_run_with_model(self, query: Query, cost_model, *,
+                             precision_ladder=None,
+                             on_event=None) -> "OptimizationRun":
+        """Create a resumable :class:`~repro.core.run.OptimizationRun`.
+
+        The run can be advanced stepwise, bounded by
+        :class:`~repro.core.run.Budget` objects, and laddered through
+        successively tighter precisions (``precision_ladder``); see
+        :mod:`repro.core.run`.  ``precision_ladder=None`` runs a single
+        rung at ``options.approximation_factor``.
+        """
         stats = OptimizerStats()
         factory = self.backend_factory or PWLBackend
         backend = factory(cost_model, options=self.options,
                           lp_stats=stats.lp_stats, stats=stats)
-        result = RRPA(backend).optimize(query)
-        # RRPA created fresh stats internally; fold our emptiness-check
-        # accounting into the run's stats object.
-        result.stats.emptiness_checks += stats.emptiness_checks
-        result.stats.emptiness_checks_skipped += (
-            stats.emptiness_checks_skipped)
-        return result
+        return OptimizationRun(backend, query,
+                               precision_ladder=precision_ladder,
+                               fold_stats=stats, on_event=on_event)
 
 
 def optimize_cloud_query(query: Query, resolution: int = 2,

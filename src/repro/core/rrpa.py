@@ -20,19 +20,16 @@ and :mod:`repro.core.grid` (arbitrary cost functions on a finite grid).
 
 from __future__ import annotations
 
-import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
-from ..errors import OptimizationError
-from ..plans import Plan, ScanPlan, combine
+from ..plans import Plan
 from ..query import Query
 from .backend import RRPABackend
 from .entry import PlanEntry
-from .enumeration import splits, subsets_in_size_order
 from .stats import OptimizerStats
 
 
@@ -47,6 +44,12 @@ class OptimizationResult:
         stats: Run statistics (plans created, LPs solved, wall time).
         dp_table: The full DP table (table set -> surviving entries);
             useful for analysis and debugging.
+        achieved_alpha: Approximation factor the plan set was pruned
+            with (``0.0`` for the paper's exact algorithm).
+        guarantee: Multiplicative end-to-end cost bound: every possible
+            plan is covered by a returned plan within this factor on all
+            metrics (``1.0`` for exact runs; see
+            :func:`repro.core.run.guarantee_bound`).
     """
 
     query: Query
@@ -54,6 +57,8 @@ class OptimizationResult:
     stats: OptimizerStats
     dp_table: dict[frozenset[str], list[PlanEntry]] = field(
         default_factory=dict)
+    achieved_alpha: float = 0.0
+    guarantee: float = 1.0
 
     @property
     def pareto_plans(self) -> list[Plan]:
@@ -102,62 +107,92 @@ class OptimizationResult:
         return frontier
 
 
+#: Incumbents per vectorized dominance batch while reducing the new
+#: plan's RR.  Chunking bounds the work wasted when the RR empties
+#: early (the scalar loop would have stopped at that incumbent).
+PRUNE_CHUNK = 8
+
+
+def prune_into(backend: RRPABackend, entries: list[PlanEntry],
+               new_plan: Plan, new_cost: Any, stats: OptimizerStats,
+               chunk_size: int = PRUNE_CHUNK) -> None:
+    """Insert ``new_plan`` into ``entries`` unless it is irrelevant.
+
+    Algorithm 1's procedure ``Prune``, shared by :class:`RRPA` and the
+    resumable :class:`repro.core.run.OptimizationRun` engine.
+    """
+    stats.plans_created += 1
+    new_region = backend.full_region()
+    # Reduce the new plan's RR by every incumbent's dominance region.
+    for start in range(0, len(entries), chunk_size):
+        chunk = entries[start:start + chunk_size]
+        dom_lists = backend.dominance_many(
+            [old.cost for old in chunk], new_cost)
+        for dominated in dom_lists:
+            stats.pruning_comparisons += 1
+            backend.reduce_region(new_region, dominated)
+            if backend.region_is_empty(new_region):
+                stats.plans_discarded_new += 1
+                return
+    # The new plan is relevant somewhere: displace dominated incumbents.
+    survivors = []
+    dom_lists = backend.dominance_many_rev(
+        new_cost, [old.cost for old in entries])
+    for old, dominated in zip(entries, dom_lists):
+        stats.pruning_comparisons += 1
+        backend.reduce_region(old.region, dominated)
+        if backend.region_is_empty(old.region):
+            stats.plans_displaced_old += 1
+        else:
+            survivors.append(old)
+    entries[:] = survivors
+    entries.append(PlanEntry(plan=new_plan, cost=new_cost,
+                             region=new_region))
+    stats.plans_inserted += 1
+
+
 class RRPA:
     """Generic MPQ optimizer (Algorithm 1).
+
+    Since the anytime redesign this is a thin run-to-completion wrapper
+    over the resumable :class:`repro.core.run.OptimizationRun` engine —
+    one rung at the backend's configured approximation factor, which
+    performs exactly the operations of the classic loop in the same
+    order (bit-identical plan sets and statistics).
 
     Args:
         backend: Implementation of the elementary operations for the
             desired cost-function class.
     """
 
+    #: Per-instance/subclass override of the dominance batch size,
+    #: honored by :meth:`_prune` (the module-level :data:`PRUNE_CHUNK`
+    #: is the default).
+    PRUNE_CHUNK = PRUNE_CHUNK
+
     def __init__(self, backend: RRPABackend) -> None:
         self.backend = backend
 
-    # ------------------------------------------------------------------
-    # Pruning (Algorithm 1, procedure Prune)
-    # ------------------------------------------------------------------
-
-    #: Incumbents per vectorized dominance batch while reducing the new
-    #: plan's RR.  Chunking bounds the work wasted when the RR empties
-    #: early (the scalar loop would have stopped at that incumbent).
-    PRUNE_CHUNK = 8
-
     def _prune(self, entries: list[PlanEntry], new_plan: Plan,
                new_cost: Any, stats: OptimizerStats) -> None:
-        """Insert ``new_plan`` into ``entries`` unless it is irrelevant."""
-        backend = self.backend
-        stats.plans_created += 1
-        new_region = backend.full_region()
-        # Reduce the new plan's RR by every incumbent's dominance region.
-        for start in range(0, len(entries), self.PRUNE_CHUNK):
-            chunk = entries[start:start + self.PRUNE_CHUNK]
-            dom_lists = backend.dominance_many(
-                [old.cost for old in chunk], new_cost)
-            for dominated in dom_lists:
-                stats.pruning_comparisons += 1
-                backend.reduce_region(new_region, dominated)
-                if backend.region_is_empty(new_region):
-                    stats.plans_discarded_new += 1
-                    return
-        # The new plan is relevant somewhere: displace dominated incumbents.
-        survivors = []
-        dom_lists = backend.dominance_many_rev(
-            new_cost, [old.cost for old in entries])
-        for old, dominated in zip(entries, dom_lists):
-            stats.pruning_comparisons += 1
-            backend.reduce_region(old.region, dominated)
-            if backend.region_is_empty(old.region):
-                stats.plans_displaced_old += 1
-            else:
-                survivors.append(old)
-        entries[:] = survivors
-        entries.append(PlanEntry(plan=new_plan, cost=new_cost,
-                                 region=new_region))
-        stats.plans_inserted += 1
+        """Algorithm 1's ``Prune`` (delegates to :func:`prune_into`)."""
+        prune_into(self.backend, entries, new_plan, new_cost, stats,
+                   chunk_size=self.PRUNE_CHUNK)
 
-    # ------------------------------------------------------------------
-    # Main loop (Algorithm 1, function GenericMPQ)
-    # ------------------------------------------------------------------
+    def start_run(self, query: Query, *, precision_ladder=None,
+                  on_event=None):
+        """Create a resumable :class:`~repro.core.run.OptimizationRun`.
+
+        ``precision_ladder=None`` runs a single rung at the backend's
+        configured approximation factor (any backend); multi-rung
+        ladders require backend support for
+        :meth:`~repro.core.backend.RRPABackend.set_approximation_factor`.
+        """
+        from .run import OptimizationRun
+        return OptimizationRun(self.backend, query,
+                               precision_ladder=precision_ladder,
+                               on_event=on_event,
+                               prune_chunk=self.PRUNE_CHUNK)
 
     def optimize(self, query: Query) -> OptimizationResult:
         """Compute a Pareto plan set for ``query``.
@@ -166,54 +201,9 @@ class RRPA:
             OptimizationError: If some table set ends up with no plans
                 (indicates an inconsistent cost model or backend).
         """
-        backend = self.backend
-        backend.on_run_start()
-        stats = OptimizerStats()
-        if hasattr(backend, "lp_stats"):
-            stats.lp_stats = backend.lp_stats
-        started = time.perf_counter()
-
-        dp: dict[frozenset[str], list[PlanEntry]] = {}
-
-        # Base tables: all scan plans, pruned against each other.
-        for table in query.tables:
-            key = frozenset((table,))
-            dp[key] = []
-            for operator in backend.scan_operators(table):
-                plan = ScanPlan(table=table, operator=operator)
-                cost = backend.scan_cost(plan)
-                self._prune(dp[key], plan, cost, stats)
-            if not dp[key]:
-                raise OptimizationError(
-                    f"no scan plans survived for table {table!r}")
-
-        # Table sets of increasing cardinality.
-        for subset in subsets_in_size_order(query):
-            entries: list[PlanEntry] = []
-            dp[subset] = entries
-            for left_set, right_set in splits(query, subset):
-                left_entries = dp.get(left_set)
-                right_entries = dp.get(right_set)
-                if not left_entries or not right_entries:
-                    continue
-                for operator in backend.join_operators():
-                    local = backend.join_local_cost(left_set, right_set,
-                                                    operator)
-                    for left in left_entries:
-                        for right in right_entries:
-                            plan = combine(left.plan, right.plan, operator)
-                            cost = backend.accumulate(
-                                local, (left.cost, right.cost))
-                            self._prune(entries, plan, cost, stats)
-            if not entries:
-                raise OptimizationError(
-                    f"no plans survived for table set {sorted(subset)}")
-
-        stats.optimization_seconds = time.perf_counter() - started
-        final = dp[query.table_set] if query.num_tables > 1 else dp[
-            frozenset((query.tables[0],))]
-        return OptimizationResult(query=query, entries=list(final),
-                                  stats=stats, dp_table=dp)
+        run = self.start_run(query)
+        run.run()
+        return run.result()
 
 
 def optimize_with(backend: RRPABackend, query: Query) -> OptimizationResult:

@@ -69,7 +69,13 @@ def _encode_region(region) -> dict:
 
 
 def encode_result(result: OptimizationResult) -> dict:
-    """Encode a result's final Pareto plan set as a JSON-ready dict."""
+    """Encode a result's final Pareto plan set as a JSON-ready dict.
+
+    The document records the run's approximation tag (``alpha`` /
+    ``guarantee``, both trivial for exact runs) so anytime plan sets
+    stay distinguishable from exact ones after a round trip — the
+    warm-start cache keys acceptance on it.
+    """
     entries = []
     for entry in result.entries:
         entries.append({
@@ -80,6 +86,8 @@ def encode_result(result: OptimizationResult) -> dict:
         })
     return {"version": FORMAT_VERSION,
             "num_params": max(1, result.query.num_params),
+            "alpha": float(result.achieved_alpha),
+            "guarantee": float(result.guarantee),
             "entries": entries}
 
 
@@ -149,10 +157,14 @@ class StoredPlanSet:
     original optimizer state.
     """
 
-    def __init__(self, num_params: int,
-                 entries: list[StoredEntry]) -> None:
+    def __init__(self, num_params: int, entries: list[StoredEntry],
+                 alpha: float = 0.0, guarantee: float = 1.0) -> None:
         self.num_params = num_params
         self.entries = entries
+        #: Approximation factor the set was pruned with (0 = exact).
+        self.alpha = alpha
+        #: End-to-end multiplicative cost bound (1 = exact).
+        self.guarantee = guarantee
 
     def plans_for(self, x) -> list[StoredEntry]:
         """Entries whose relevance region contains ``x``."""
@@ -206,7 +218,9 @@ def decode_plan_set(doc: dict) -> StoredPlanSet:
             cutouts=[_decode_polytope(c)
                      for c in region_doc["cutouts"]]))
     return StoredPlanSet(num_params=doc.get("num_params", 1),
-                         entries=entries)
+                         entries=entries,
+                         alpha=float(doc.get("alpha", 0.0)),
+                         guarantee=float(doc.get("guarantee", 1.0)))
 
 
 def load_plan_set(path) -> StoredPlanSet:

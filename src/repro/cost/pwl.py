@@ -257,12 +257,22 @@ class PiecewiseLinearFunction:
     def _combine_extremum(self, other: "PiecewiseLinearFunction",
                           solver: LinearProgramSolver,
                           take_max: bool) -> "PiecewiseLinearFunction":
-        """Piecewise max/min: split each region overlap at the crossing plane."""
+        """Piecewise max/min: split each region overlap at the crossing plane.
+
+        The general path decides its emptiness LPs (overlap feasibility
+        and the two crossing-split halves) in batched
+        :func:`~repro.geometry.emptiness_many` passes rather than one
+        Python solver call per piece pair; ``REPRO_SCALAR_KERNELS=1``
+        selects the equivalent per-pair loop (bit-identical results).
+        """
         if other.dim != self.dim:
             raise DimensionMismatchError("combining functions of mixed dims")
         aligned = self._aligned_extremum(other, take_max)
         if aligned is not None:
             return aligned
+        if not scalar_kernels_enabled():
+            return self._combine_extremum_vectorized(other, solver,
+                                                     take_max)
         pieces: list[LinearPiece] = []
         for p1 in self.pieces:
             for p2 in other.pieces:
@@ -286,6 +296,49 @@ class PiecewiseLinearFunction:
             raise EmptyRegionError("extremum has no non-empty piece region")
         return PiecewiseLinearFunction(self.dim, pieces)
 
+    def _combine_extremum_vectorized(
+            self, other: "PiecewiseLinearFunction",
+            solver: LinearProgramSolver,
+            take_max: bool) -> "PiecewiseLinearFunction":
+        """Batched general-path max/min, mirroring the scalar loop.
+
+        Round 1 batches the overlap-emptiness LPs of all piece pairs;
+        round 2 batches the emptiness LPs of the two crossing-split
+        halves of every surviving overlap.  Pieces are appended in the
+        scalar loop's order (pair for pair, ``p1 <= p2`` half first), so
+        the resulting function is bit-identical.
+        """
+        pairs = [(p1, p2) for p1 in self.pieces for p2 in other.pieces]
+        overlaps = [p1.region.intersect(p2.region) for p1, p2 in pairs]
+        overlap_empty = emptiness_many(overlaps, solver)
+        halves: list[ConvexPolytope] = []
+        survivors: list[tuple[LinearPiece, LinearPiece]] = []
+        for (p1, p2), overlap, empty in zip(pairs, overlaps,
+                                            overlap_empty):
+            if empty:
+                continue
+            diff_w = np.asarray(p1.w) - np.asarray(p2.w)
+            diff_b = p2.b - p1.b
+            # Region where p1 <= p2: diff_w @ x <= diff_b.
+            halves.append(overlap.with_constraint(
+                LinearConstraint.make(diff_w, diff_b)))
+            halves.append(overlap.with_constraint(
+                LinearConstraint.make(-diff_w, -diff_b)))
+            survivors.append((p1, p2))
+        half_empty = emptiness_many(halves, solver)
+        pieces: list[LinearPiece] = []
+        for pair_index, (p1, p2) in enumerate(survivors):
+            p1_le, p2_le = halves[2 * pair_index:2 * pair_index + 2]
+            winner_on_p1le = p2 if take_max else p1
+            winner_on_p2le = p1 if take_max else p2
+            if not half_empty[2 * pair_index]:
+                pieces.append(winner_on_p1le.restricted(p1_le))
+            if not half_empty[2 * pair_index + 1]:
+                pieces.append(winner_on_p2le.restricted(p2_le))
+        if not pieces:
+            raise EmptyRegionError("extremum has no non-empty piece region")
+        return PiecewiseLinearFunction(self.dim, pieces)
+
     def maximum(self, other: "PiecewiseLinearFunction",
                 solver: LinearProgramSolver) -> "PiecewiseLinearFunction":
         """Pointwise maximum (accumulation for parallel branches)."""
@@ -304,23 +357,59 @@ class PiecewiseLinearFunction:
                   solver: LinearProgramSolver) -> tuple[float, float]:
         """Return ``(min, max)`` of the function over ``region``.
 
-        Only pieces whose region intersects ``region`` contribute.
+        Only pieces whose region intersects ``region`` contribute.  The
+        per-piece overlap emptiness checks and min/max objective LPs run
+        as two batched :meth:`~repro.lp.LinearProgramSolver.solve_many`
+        passes; ``REPRO_SCALAR_KERNELS=1`` selects the equivalent
+        per-piece loop (bit-identical results).
+
+        Raises:
+            EmptyRegionError: When no piece region intersects ``region``.
         """
+        overlaps = [piece.region.intersect(region)
+                    for piece in self.pieces]
+        if scalar_kernels_enabled():
+            empty = [overlap.is_empty(solver) for overlap in overlaps]
+        else:
+            empty = emptiness_many(overlaps, solver)
+        live = [(piece, overlap)
+                for piece, overlap, is_empty in zip(self.pieces, overlaps,
+                                                    empty)
+                if not is_empty]
+        if not live:
+            raise EmptyRegionError("function has no piece on the region")
+        if scalar_kernels_enabled():
+            results = []
+            for piece, overlap in live:
+                results.append(solver.solve(piece.w, overlap._a,
+                                            overlap._b, purpose="bounds"))
+                results.append(solver.solve(-np.asarray(piece.w),
+                                            overlap._a, overlap._b,
+                                            purpose="bounds"))
+        else:
+            problems = []
+            for piece, overlap in live:
+                problems.append((np.asarray(piece.w, dtype=float),
+                                 overlap._a, overlap._b, None))
+                problems.append((-np.asarray(piece.w, dtype=float),
+                                 overlap._a, overlap._b, None))
+            results = solver.solve_many(problems, purpose="bounds")
         lo, hi = np.inf, -np.inf
-        for piece in self.pieces:
-            overlap = piece.region.intersect(region)
-            if overlap.is_empty(solver):
-                continue
-            res_min = solver.solve(piece.w, overlap._a, overlap._b,
-                                   purpose="bounds")
-            res_max = solver.solve(-np.asarray(piece.w), overlap._a,
-                                   overlap._b, purpose="bounds")
+        bounded = False
+        for index, (piece, __) in enumerate(live):
+            res_min, res_max = results[2 * index:2 * index + 2]
             if res_min.is_optimal:
                 lo = min(lo, res_min.objective + piece.b)
+                bounded = True
             if res_max.is_optimal:
                 hi = max(hi, -res_max.objective + piece.b)
-        if lo is np.inf and hi is -np.inf:
-            raise EmptyRegionError("function has no piece on the region")
+                bounded = True
+        if not bounded:
+            # Overlaps exist but no LP was optimal (e.g. an unbounded
+            # region in both objective directions): (inf, -inf) is not a
+            # usable interval.
+            raise EmptyRegionError(
+                "function has no bounded piece on the region")
         return float(lo), float(hi)
 
     def map_pieces(self, fn: Callable[[LinearPiece], LinearPiece]

@@ -16,6 +16,7 @@ Two backends are available:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Sequence
@@ -72,16 +73,30 @@ class LPResultCache:
     (feasibility, objective optima and minimizers do not depend on
     constraint order).
 
+    Access is lock-protected: an optimizer session merges worker memo
+    deltas from its pool's collector thread while the main thread keeps
+    solving (serial runs) or exporting (pool spawns).
+
     Args:
         maxsize: Maximum number of cached results (LRU eviction).
+        track_delta: Record the keys of fresh inserts so
+            :meth:`drain_delta` can ship *only what this process learned*
+            back to a parent session (pool workers enable this; see
+            :mod:`repro.service.session`).
     """
 
-    def __init__(self, maxsize: int = 4096) -> None:
+    def __init__(self, maxsize: int = 4096,
+                 track_delta: bool = False) -> None:
         self.maxsize = maxsize
         self._data = BoundedLRU(maxsize)
+        self._lock = threading.Lock()
+        #: Ordered set of keys inserted since the last drain (insertion
+        #: order == recency for fresh keys); ``None`` disables tracking.
+        self._delta: dict | None = {} if track_delta else None
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     @staticmethod
     def make_key(c: np.ndarray, a_ub: np.ndarray | None,
@@ -101,11 +116,15 @@ class LPResultCache:
         Hit accounting lives in :class:`LPStats` (``cache_hits``), the
         single source the optimizer statistics report.
         """
-        return self._data.get(key)
+        with self._lock:
+            return self._data.get(key)
 
     def put(self, key: tuple, result: LPResult) -> None:
         """Store a result, evicting the least recently used on overflow."""
-        self._data.put(key, result)
+        with self._lock:
+            if self._delta is not None and key not in self._data:
+                self._delta[key] = None
+            self._data.put(key, result)
 
     def export(self, limit: int | None = None) -> list[tuple]:
         """Snapshot of ``(key, result)`` pairs for shipping across processes.
@@ -115,15 +134,45 @@ class LPResultCache:
         numpy arrays, so the export pickles cheaply (the optimizer-session
         pool seeds its workers with one at spawn time).
         """
-        entries = self._data.items()
+        with self._lock:
+            entries = self._data.items()
         if limit is not None and len(entries) > limit:
             entries = entries[-limit:]
         return entries
 
-    def merge(self, entries) -> None:
-        """Adopt exported ``(key, result)`` pairs into this cache."""
-        for key, result in entries:
-            self._data.put(key, result)
+    def merge(self, entries) -> int:
+        """Adopt exported ``(key, result)`` pairs into this cache.
+
+        Merged entries are *not* recorded as deltas — they are somebody
+        else's learning (the spawn seed in a worker, a worker delta in
+        the parent), and re-shipping them would echo entries back and
+        forth.  Returns the number of entries that were new to this
+        cache.
+        """
+        fresh = 0
+        with self._lock:
+            for key, result in entries:
+                if key not in self._data:
+                    fresh += 1
+                self._data.put(key, result)
+        return fresh
+
+    def drain_delta(self, limit: int | None = None) -> list[tuple]:
+        """Return (and forget) the entries inserted since the last drain.
+
+        Only caches constructed with ``track_delta=True`` record deltas;
+        others return an empty list.  Entries evicted between insert and
+        drain are skipped.  ``limit`` keeps the most recent inserts.
+        """
+        if self._delta is None:
+            return []
+        with self._lock:
+            keys = list(self._delta)
+            self._delta.clear()
+            if limit is not None and len(keys) > limit:
+                keys = keys[-limit:]
+            return [(key, self._data.get(key)) for key in keys
+                    if key in self._data]
 
 
 #: Process-wide session LP memo; see :func:`install_shared_lp_cache`.

@@ -80,9 +80,14 @@ class BatchOptimizer:
     cache: WarmStartCache = field(default_factory=WarmStartCache)
 
     def __post_init__(self) -> None:
+        # stacklevel=3: this frame -> the dataclass-generated __init__ ->
+        # the caller.  Attributing the warning to the caller's line is
+        # what makes Python's default once-per-location filter behave as
+        # once per *callsite* (a wrong stacklevel pins every caller to
+        # one internal location, so only the first caller ever sees it).
         warnings.warn(
             "BatchOptimizer is deprecated; use repro.api.OptimizerSession",
-            DeprecationWarning, stacklevel=2)
+            DeprecationWarning, stacklevel=3)
         self._session = OptimizerSession(
             "cloud", workers=self.options.workers,
             resolution=self.options.resolution,

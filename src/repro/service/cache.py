@@ -6,6 +6,14 @@ run-time selection; a long-running service takes the next step and reuses
 documents produced by :mod:`repro.core.serialize`, bounded by an LRU
 policy, with optional persistence to a directory so warm state survives
 process restarts (and can be shared between worker fleets).
+
+Since the anytime redesign every entry carries an **alpha tag**: the
+approximation rung the producing run achieved (``0`` for exact results,
+the rung's alpha for plan sets an interrupted precision-ladder run left
+behind).  Lookups state the loosest guarantee they accept
+(``get(signature, max_alpha=...)``), so a partial anytime result can
+never masquerade as an exact one, and a coarser entry never overwrites a
+tighter one.
 """
 
 from __future__ import annotations
@@ -62,34 +70,94 @@ class WarmStartCache:
         path = os.path.join(self.directory, f"{signature}.json")
         return path if os.path.exists(path) else None
 
-    def get(self, signature: str) -> dict | None:
-        """Return the cached plan-set document, or ``None`` on a miss.
+    @staticmethod
+    def _unwrap(stored: dict) -> tuple[dict, float]:
+        """Split a stored entry into ``(doc, alpha)``.
 
+        Entries written before the anytime redesign are bare plan-set
+        documents; they count as exact (``alpha = 0``).
+        """
+        if "plan_set" in stored and "alpha" in stored:
+            return stored["plan_set"], float(stored["alpha"])
+        return stored, 0.0
+
+    def get_entry(self, signature: str) -> tuple[dict, float] | None:
+        """Return ``(document, alpha)`` for a cached entry, or ``None``.
+
+        ``alpha`` is the approximation tag of the stored plan set: the
+        rung the producing run reached (``0`` for exact results).
         Corrupt or unreadable disk entries (a truncated file, a foreign
         schema in a shared directory) count as misses rather than
         failing the caller — the query is simply re-optimized.
         """
         with self._lock:
-            doc = self._data.get(signature)
-            if doc is not None:
+            stored = self._data.get(signature)
+            if stored is not None:
                 self.hits += 1
-                return doc
+                return self._unwrap(stored)
         path = self._path_for(signature)
         if path is not None:
             try:
                 with open(path, "r", encoding="utf-8") as handle:
-                    doc = json.load(handle)
+                    stored = json.load(handle)
             except (OSError, ValueError):
                 with self._lock:
                     self.misses += 1
                 return None
             with self._lock:
-                self._data.put(signature, doc)
+                self._data.put(signature, stored)
                 self.hits += 1
-            return doc
+            return self._unwrap(stored)
         with self._lock:
             self.misses += 1
         return None
+
+    def _disk_entry(self, signature: str) -> tuple[dict, float] | None:
+        """Read ``(doc, alpha)`` straight from the disk tier, if any."""
+        path = self._path_for(signature)
+        if path is None:
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return self._unwrap(json.load(handle))
+        except (OSError, ValueError):
+            return None
+
+    def get(self, signature: str,
+            max_alpha: float | None = None) -> dict | None:
+        """Return the cached plan-set document, or ``None`` on a miss.
+
+        Args:
+            signature: Cache key.
+            max_alpha: Only accept entries whose approximation tag is at
+                most this loose — an entry produced by an interrupted
+                anytime run (rung alpha above the caller's target) then
+                counts as a miss instead of silently serving a coarser
+                guarantee.  ``None`` accepts any tag (the pre-anytime
+                behavior, when every entry was exact for its signature).
+                When the in-memory entry is too coarse, the disk tier is
+                still consulted — another process sharing the directory
+                may have written a tighter one.
+        """
+        entry = self.get_entry(signature)
+        if entry is None:
+            return None
+        doc, alpha = entry
+        if max_alpha is not None and alpha > max_alpha + 1e-12:
+            # Too coarse in memory; a tighter entry may live on disk
+            # (written by another process sharing the directory).
+            disk = self._disk_entry(signature)
+            if disk is not None and disk[1] <= max_alpha + 1e-12:
+                doc, alpha = disk
+                with self._lock:
+                    self._data.put(signature,
+                                   {"alpha": alpha, "plan_set": doc})
+                return doc
+            with self._lock:
+                self.hits -= 1  # reclassify: tag too coarse is a miss
+                self.misses += 1
+            return None
+        return doc
 
     def load(self, signature: str) -> StoredPlanSet | None:
         """Like :meth:`get`, but decoded into a :class:`StoredPlanSet`.
@@ -104,22 +172,46 @@ class WarmStartCache:
         except Exception:
             return None
 
-    def put(self, signature: str, doc: dict) -> None:
+    def put(self, signature: str, doc: dict,
+            alpha: float = 0.0) -> None:
         """Insert a plan-set document, persisting it when configured.
+
+        ``alpha`` tags the entry with the guarantee rung the producing
+        run achieved (``0`` = exact).  A coarser entry never overwrites
+        a tighter one under the same signature — an interrupted anytime
+        run cannot degrade a previously cached exact result.
 
         Disk writes go through a writer-unique temp file plus atomic
         rename, so concurrent processes sharing one directory never
         install a half-written document.
         """
+        alpha = float(alpha)
+        stored = {"alpha": alpha, "plan_set": doc}
+        if self.directory and alpha > 1e-12:
+            # Consult the shared disk tier *before* touching memory: a
+            # tighter entry written by another process must veto both
+            # tiers, or the coarser entry would shadow it in memory.
+            # (Exact entries skip the read — nothing can be tighter.)
+            # Best-effort under concurrent writers: two simultaneous
+            # puts can interleave read and rename, so a racing coarser
+            # writer may still land last; readers stating max_alpha
+            # re-optimize in that case rather than degrade silently.
+            disk = self._disk_entry(signature)
+            if disk is not None and disk[1] < alpha - 1e-12:
+                return
         with self._lock:
-            self._data.put(signature, doc)
+            existing = self._data.get(signature)
+            if existing is not None and (
+                    self._unwrap(existing)[1] < alpha - 1e-12):
+                return  # keep the tighter entry
+            self._data.put(signature, stored)
         if self.directory:
             path = os.path.join(self.directory, f"{signature}.json")
             fd, tmp = tempfile.mkstemp(dir=self.directory,
                                        suffix=".tmp")
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(doc, handle)
+                    json.dump(stored, handle)
                 os.replace(tmp, path)
             except BaseException:
                 if os.path.exists(tmp):

@@ -85,6 +85,20 @@ class Scenario:
         return self.optimizer(resolution=resolution,
                               options=options).optimize(query)
 
+    def start_run(self, query: Query, resolution: int = 2,
+                  options: PWLRRPAOptions | None = None, *,
+                  precision_ladder=None, on_event=None):
+        """Create a resumable anytime run for one query.
+
+        Returns a :class:`repro.core.run.OptimizationRun` that can be
+        advanced under :class:`repro.core.run.Budget` limits and
+        laddered through successively tighter precisions; see
+        :mod:`repro.core.run`.
+        """
+        return self.optimizer(resolution=resolution,
+                              options=options).start_run(
+            query, precision_ladder=precision_ladder, on_event=on_event)
+
     @property
     def metric_names(self) -> tuple[str, ...]:
         """Names of the scenario's metrics, in reporting order."""

@@ -33,7 +33,16 @@ Submission surfaces:
   completion order as they finish (streaming);
 * :meth:`OptimizerSession.map` — many queries, returns items in input
   order (the legacy batch contract, with per-query error isolation,
-  deadline handling and in-batch deduplication).
+  deadline handling and in-batch deduplication);
+* :meth:`OptimizerSession.optimize` — one query; with ``precision=`` /
+  ``budget=`` it becomes an *anytime* call that returns the best
+  guaranteed plan set the budget allowed (cooperative: budgets are
+  enforced inside the run at DP step boundaries, so pooled workers stop
+  themselves and the pool survives);
+* :meth:`OptimizerSession.optimize_iter` — one query, streams
+  :class:`~repro.core.run.ProgressEvent` objects over a precision
+  ladder; each ``rung_completed`` event carries a successively tighter
+  plan set with its ``(1 + alpha)`` guarantee.
 
 Workers ship *serialized* plan sets (JSON documents) back to the parent,
 which both sidesteps pickling optimizer internals and feeds the cache for
@@ -48,24 +57,34 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures import as_completed as _futures_as_completed
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Iterator, Sequence
 
-from ..core import (PWLRRPAOptions, StoredPlanSet, decode_plan_set,
-                    encode_result)
-from ..lp import LPResultCache, install_shared_lp_cache
+from ..core import (RUN_COMPLETED, Budget, OptimizerStats, ProgressEvent,
+                    PWLRRPAOptions, StoredPlanSet, decode_plan_set,
+                    encode_result, ladder_to, validate_ladder)
+from ..errors import OptimizationError
+from ..lp import (LPResultCache, install_shared_lp_cache,
+                  shared_lp_cache)
 from ..query import Query
 from .cache import WarmStartCache
 from .registry import ScenarioRegistry, default_registry
 from .signature import query_signature
 
-#: Result statuses a batch item can end in.
-STATUSES = ("ok", "cached", "error", "timeout")
+#: Result statuses a batch item can end in.  ``"partial"`` is the
+#: anytime outcome: the budget expired before the target precision, but
+#: a coarser rung completed — the plan set is valid with the reported
+#: guarantee.
+STATUSES = ("ok", "cached", "partial", "error", "timeout")
 
 #: Most-recently-used LP memo entries shipped to each spawning worker.
 #: Bounds the pickled seed (LP results hold numpy arrays) so spawning a
 #: pool off a long-lived memo stays cheap.
 WORKER_SEED_LIMIT = 4096
+
+#: Most-recently-learned LP memo entries a pooled task ships back to the
+#: session per result (the worker -> parent direction of the memo flow).
+WORKER_DELTA_LIMIT = 1024
 
 
 @dataclass
@@ -77,13 +96,20 @@ class BatchItem:
             single :meth:`OptimizerSession.submit` calls).
         signature: Warm-start cache key of the query.
         status: One of :data:`STATUSES`.
-        plan_set: Run-time-selectable Pareto plan set (``None`` unless the
-            status is ``"ok"`` or ``"cached"``).
+        plan_set: Run-time-selectable Pareto plan set (``None`` unless
+            :attr:`ok`).
         stats: Optimizer-stats summary dict (``None`` for cached/failed
             items).
         error: Error description for ``"error"``/``"timeout"`` items.
         seconds: Wall-clock optimization time (0 for cache hits).
         scenario: Name of the scenario the query was optimized under.
+        alpha: Approximation tag of the returned plan set: the rung the
+            run achieved (``0`` for exact results).
+        guarantee: End-to-end multiplicative cost bound of the plan set
+            (``1.0`` for exact results): every possible plan is covered
+            within this factor on all metrics.
+        events: :class:`~repro.core.run.ProgressEvent` trail of anytime
+            runs (empty for exact-mode items).
     """
 
     index: int
@@ -94,11 +120,32 @@ class BatchItem:
     error: str | None = None
     seconds: float = 0.0
     scenario: str = "cloud"
+    alpha: float = 0.0
+    guarantee: float = 1.0
+    events: tuple = field(default_factory=tuple)
 
     @property
     def ok(self) -> bool:
-        """``True`` when a plan set is available."""
-        return self.status in ("ok", "cached")
+        """``True`` when a plan set is available.
+
+        ``"partial"`` counts: the set is valid, only its guarantee is
+        coarser than requested (check :attr:`alpha`/:attr:`guarantee`).
+        """
+        return self.status in ("ok", "cached", "partial")
+
+
+def _drain_memo_delta(outcome: dict) -> None:
+    """Attach the LP-memo entries this task learned to the outcome.
+
+    Only pool workers install a delta-tracking memo
+    (:func:`_worker_init`); in serial runs the installed memo is the
+    session memo itself, whose drain is a no-op.
+    """
+    memo = shared_lp_cache()
+    if memo is not None:
+        delta = memo.drain_delta(limit=WORKER_DELTA_LIMIT)
+        if delta:
+            outcome["lp_memo_delta"] = delta
 
 
 def _optimize_payload(payload: tuple) -> tuple[int, dict, dict, float]:
@@ -112,24 +159,80 @@ def _optimize_payload(payload: tuple) -> tuple[int, dict, dict, float]:
     the fallback for unpicklable registrations and resolves by name from
     the worker's process-global default registry — which then must know
     the name (register it in a module the workers import).
+
+    Returns ``(index, outcome, stats_summary, elapsed)``.  The outcome
+    dict carries the encoded plan set (``"doc"``), the achieved
+    ``"alpha"``/``"guarantee"``, a ``"status"``, and — for anytime
+    payloads — the per-rung documents (``"rungs"``), the progress-event
+    trail (``"events"``), and the worker's fresh LP-memo entries
+    (``"lp_memo_delta"``), which the session merges back on receipt.
     """
-    index, scenario_name, scenario, query, resolution, options = payload
+    (index, scenario_name, scenario, query, resolution, options,
+     anytime) = payload
     if scenario is None:
         scenario = default_registry().get(scenario_name)
     started = time.perf_counter()
-    result = scenario.optimize(query, resolution=resolution,
-                               options=options)
+    if anytime is None:
+        result = scenario.optimize(query, resolution=resolution,
+                                   options=options)
+        outcome = {"doc": encode_result(result), "status": "ok",
+                   "alpha": result.achieved_alpha,
+                   "guarantee": result.guarantee}
+        stats = result.stats.summary()
+    else:
+        outcome, stats = _run_anytime(scenario, query, resolution,
+                                      options, anytime)
     elapsed = time.perf_counter() - started
-    return index, encode_result(result), result.stats.summary(), elapsed
+    _drain_memo_delta(outcome)
+    return index, outcome, stats, elapsed
+
+
+def _run_anytime(scenario, query: Query, resolution: int, options,
+                 anytime: dict) -> tuple[dict, dict]:
+    """Run an anytime precision ladder to its (cooperative) budget.
+
+    The budget is enforced *inside* the run at step boundaries, so a
+    pooled worker returns its best-so-far by itself — no cancellation,
+    no pool teardown.
+    """
+    run = scenario.start_run(
+        query, resolution=resolution, options=options,
+        precision_ladder=tuple(anytime["ladder"]))
+    status = run.run(Budget.from_dict(anytime.get("budget")))
+    rungs = [{"doc": encode_result(outcome.result),
+              "alpha": outcome.alpha, "guarantee": outcome.guarantee}
+             for outcome in run.completed]
+    result = run.result()
+    if status == RUN_COMPLETED:
+        item_status = "ok"
+    elif rungs:
+        item_status = "partial"
+    else:
+        item_status = "timeout"
+    outcome = {
+        "doc": rungs[-1]["doc"] if rungs else None,
+        "alpha": run.achieved_alpha if rungs else None,
+        "guarantee": run.guarantee if rungs else None,
+        "status": item_status,
+        "rungs": rungs,
+        "events": [event.as_dict() for event in run.events],
+    }
+    stats = (result.stats.summary() if result is not None
+             else OptimizerStats().summary())
+    return outcome, stats
 
 
 def _worker_init(memo_entries: list, memo_size: int) -> None:
     """Pool-worker initializer: install a seeded process-local LP memo.
 
     The memo persists for the worker's lifetime — the pool is persistent,
-    so LP results accumulate across every batch the session runs.
+    so LP results accumulate across every batch the session runs.  Delta
+    tracking is on: every task result ships the entries the worker
+    learned back to the session (:func:`_drain_memo_delta`), closing the
+    worker -> parent half of the memo loop (the parent -> worker half is
+    the spawn seed).
     """
-    memo = LPResultCache(max(memo_size, 1))
+    memo = LPResultCache(max(memo_size, 1), track_delta=True)
     memo.merge(memo_entries)
     install_shared_lp_cache(memo)
 
@@ -221,6 +324,14 @@ class OptimizerSession:
         #: Times a worker pool was spawned; stays at 1 across any number
         #: of batch calls (the regression the legacy engine had).
         self.pool_spawns = 0
+        #: Worker LP-memo deltas merged back into the session memo, and
+        #: how many of their entries were new to it.  Together with
+        #: :attr:`lp_cache_hits_total` this shows the cross-batch
+        #: hit-rate gain of the worker -> parent memo flow.
+        self.lp_memo_merges = 0
+        self.lp_memo_merged_entries = 0
+        #: LP memo hits summed over every completed item's stats.
+        self.lp_cache_hits_total = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -327,10 +438,26 @@ class OptimizerSession:
         self.registry.get(name)  # raise early for unknown names
         return name
 
-    def _signature(self, query: Query, scenario_name: str) -> str:
-        return query_signature(query, scenario=scenario_name,
-                               resolution=self.resolution,
-                               options=self.options)
+    def _signature(self, query: Query, scenario_name: str,
+                   options: PWLRRPAOptions | None = None) -> str:
+        return query_signature(
+            query, scenario=scenario_name, resolution=self.resolution,
+            options=options if options is not None else self.options)
+
+    def _target_alpha(self) -> float:
+        """Alpha the session's configured options optimize to."""
+        return (self.options.approximation_factor
+                if self.options is not None else 0.0)
+
+    def _anytime_options(self, target: float) -> PWLRRPAOptions:
+        """Session options re-targeted to an anytime precision.
+
+        Signatures derive from these, so an anytime run to completion
+        shares warm-start entries with a plain session configured at the
+        same approximation factor.
+        """
+        return replace(self.options or PWLRRPAOptions(),
+                       approximation_factor=float(target))
 
     def _shipped_scenario(self, scenario_name: str):
         """Scenario object to embed in pooled payloads (memoized).
@@ -356,13 +483,23 @@ class OptimizerSession:
         return cached[1]
 
     def _cached_item(self, index: int, signature: str,
-                     scenario_name: str) -> BatchItem | None:
-        """Warm-start lookup; ``None`` on miss or undecodable entry."""
+                     scenario_name: str,
+                     max_alpha: float | None = None) -> BatchItem | None:
+        """Warm-start lookup; ``None`` on miss or undecodable entry.
+
+        ``max_alpha`` (default: the session's configured approximation
+        factor) is the loosest guarantee tag the caller accepts — an
+        entry left behind by an interrupted anytime run never serves a
+        request for a tighter precision.
+        """
         if not self.warm_start:
             return None
-        doc = self.cache.get(signature)
+        if max_alpha is None:
+            max_alpha = self._target_alpha()
+        doc = self.cache.get(signature, max_alpha=max_alpha)
         if doc is None:
             return None
+        alpha = float(doc.get("alpha", 0.0))
         try:
             plan_set = decode_plan_set(doc)
         except Exception:
@@ -370,16 +507,68 @@ class OptimizerSession:
             # directory): fall through and re-optimize.
             return None
         return BatchItem(index=index, signature=signature, status="cached",
-                         plan_set=plan_set, scenario=scenario_name)
+                         plan_set=plan_set, scenario=scenario_name,
+                         alpha=alpha,
+                         guarantee=float(doc.get("guarantee", 1.0)))
+
+    def _merge_memo_delta(self, outcome: dict) -> None:
+        """Adopt a worker's freshly learned LP-memo entries.
+
+        Runs on whichever thread delivers the result (the pool's
+        collector thread for pooled items); the memo is lock-protected.
+        """
+        delta = outcome.get("lp_memo_delta")
+        if not delta or self.lp_memo is None:
+            return
+        self.lp_memo_merges += 1
+        self.lp_memo_merged_entries += self.lp_memo.merge(delta)
+
+    def _decode_events(self, outcome: dict) -> tuple:
+        """Rebuild the progress-event trail of a pooled anytime outcome.
+
+        ``rung_completed`` events get the decoded plan set of their rung
+        attached, so :meth:`optimize_iter` consumers see the same event
+        payloads on the pooled path as on the live serial path.
+        """
+        rung_sets: dict[int, StoredPlanSet] = {}
+        for rung_index, rung in enumerate(outcome.get("rungs", ())):
+            try:
+                rung_sets[rung_index] = decode_plan_set(rung["doc"])
+            except Exception:
+                continue
+        events = []
+        for doc in outcome.get("events", ()):
+            event = ProgressEvent.from_dict(doc)
+            if event.kind == "rung_completed" and event.rung in rung_sets:
+                event = replace(event, plan_set=rung_sets[event.rung])
+            events.append(event)
+        return tuple(events)
 
     def _ok_item(self, index: int, signature: str, scenario_name: str,
-                 doc: dict, stats: dict, seconds: float) -> BatchItem:
-        """Build an ``"ok"`` item, feeding the warm-start cache."""
+                 outcome: dict, stats: dict,
+                 seconds: float) -> BatchItem:
+        """Build a result item, feeding the warm-start cache."""
+        self._merge_memo_delta(outcome)
+        status = outcome.get("status", "ok")
+        doc = outcome.get("doc")
+        if doc is None:  # anytime run whose budget beat the first rung
+            item = self._error_item(
+                index, signature, scenario_name, "timeout",
+                "budget exhausted before the first ladder rung")
+            item.events = self._decode_events(outcome)
+            return item
+        alpha = float(outcome.get("alpha") or 0.0)
         if self.warm_start:
-            self.cache.put(signature, doc)
-        return BatchItem(index=index, signature=signature, status="ok",
+            self.cache.put(signature, doc, alpha=alpha)
+        if stats:
+            self.lp_cache_hits_total += int(
+                stats.get("lp_cache_hits", 0))
+        return BatchItem(index=index, signature=signature, status=status,
                          plan_set=decode_plan_set(doc), stats=stats,
-                         seconds=seconds, scenario=scenario_name)
+                         seconds=seconds, scenario=scenario_name,
+                         alpha=alpha,
+                         guarantee=float(outcome.get("guarantee") or 1.0),
+                         events=self._decode_events(outcome))
 
     def _error_item(self, index: int, signature: str, scenario_name: str,
                     status: str, error: str) -> BatchItem:
@@ -387,7 +576,8 @@ class OptimizerSession:
                          error=error, scenario=scenario_name)
 
     def _run_serial(self, index: int, signature: str, scenario_name: str,
-                    query: Query) -> BatchItem:
+                    query: Query, options: PWLRRPAOptions | None = None,
+                    anytime: dict | None = None) -> BatchItem:
         """Optimize in-process, with the session LP memo installed."""
         previous = None
         if self.lp_memo is not None:
@@ -396,20 +586,24 @@ class OptimizerSession:
             # Serial runs pass the session registry's scenario object
             # directly (no pickling involved), so custom registries are
             # honored without any default-registry registration.
-            __, doc, stats, seconds = _optimize_payload(
+            __, outcome, stats, seconds = _optimize_payload(
                 (index, scenario_name, self.registry.get(scenario_name),
-                 query, self.resolution, self.options))
+                 query, self.resolution,
+                 options if options is not None else self.options,
+                 anytime))
         except Exception as exc:  # error isolation per query
             return self._error_item(index, signature, scenario_name,
                                     "error", f"{type(exc).__name__}: {exc}")
         finally:
             if self.lp_memo is not None:
                 install_shared_lp_cache(previous)
-        return self._ok_item(index, signature, scenario_name, doc, stats,
-                             seconds)
+        return self._ok_item(index, signature, scenario_name, outcome,
+                             stats, seconds)
 
     def _submit_pooled(self, index: int, signature: str,
-                       scenario_name: str, query: Query
+                       scenario_name: str, query: Query,
+                       options: PWLRRPAOptions | None = None,
+                       anytime: dict | None = None
                        ) -> tuple[Future, Future | None]:
         """Submit to the persistent pool.
 
@@ -421,7 +615,9 @@ class OptimizerSession:
         item_future: Future = Future()
         payload = (index, scenario_name,
                    self._shipped_scenario(scenario_name), query,
-                   self.resolution, self.options)
+                   self.resolution,
+                   options if options is not None else self.options,
+                   anytime)
         try:
             raw = self._ensure_pool().submit(_optimize_payload, payload)
         except BrokenProcessPool:
@@ -458,10 +654,10 @@ class OptimizerSession:
                             index, signature, scenario_name, "error",
                             f"{type(exc).__name__}: {exc}")
                     else:
-                        __, doc, stats, seconds = done.result()
+                        __, outcome, stats, seconds = done.result()
                         item = self._ok_item(index, signature,
-                                             scenario_name, doc, stats,
-                                             seconds)
+                                             scenario_name, outcome,
+                                             stats, seconds)
                 item_future.set_result(item)
             except Exception as exc:  # decoding/caching failure
                 item_future.set_result(self._error_item(
@@ -627,8 +823,175 @@ class OptimizerSession:
             items[item.index] = item
         return [item for item in items if item is not None]
 
-    def optimize(self, query: Query, *,
-                 scenario: str | None = None) -> BatchItem:
-        """Optimize one query synchronously; sugar for ``map([query])``."""
-        (item,) = self.map([query], scenario=scenario)
-        return item
+    def optimize(self, query: Query, *, scenario: str | None = None,
+                 precision: float | None = None,
+                 budget: Budget | None = None,
+                 precision_ladder=None) -> BatchItem:
+        """Optimize one query synchronously.
+
+        Without anytime arguments this is sugar for ``map([query])`` —
+        the exact-mode contract, bit-identical to the pre-anytime
+        engine.  With ``precision`` and/or ``budget`` it becomes an
+        *anytime* call:
+
+        * ``precision=alpha`` targets a ``(1 + alpha)``-approximate
+          Pareto set (``0.0`` = exact) instead of the session's
+          configured approximation factor;
+        * ``budget`` bounds the run cooperatively (checked at DP step
+          boundaries — workers stop themselves, no pool teardown); when
+          it expires, the best *completed* ladder rung is returned as a
+          ``"partial"`` item with its achieved ``alpha``/``guarantee``,
+          or ``"timeout"`` if no rung completed;
+        * ``precision_ladder`` overrides the rung sequence (default:
+          :data:`repro.core.run.DEFAULT_PRECISION_LADDER` truncated at
+          the target when a budget is set, a single target rung
+          otherwise).
+
+        Works identically on the serial and pooled paths.
+        """
+        if precision is None and budget is None and (
+                precision_ladder is None):
+            (item,) = self.map([query], scenario=scenario)
+            return item
+        return self._optimize_anytime(query, scenario, precision,
+                                      budget, precision_ladder)
+
+    def _resolve_ladder(self, precision: float | None, budget,
+                        precision_ladder) -> tuple[float, ...]:
+        """Pick the rung sequence for an anytime call.
+
+        An explicit ladder wins.  Otherwise a budgeted call descends the
+        default ladder to the target (coarse rungs first, so a guarantee
+        exists as early as possible), while an unbudgeted call jumps
+        straight to the target in one rung.
+        """
+        if precision_ladder is not None:
+            ladder = validate_ladder(precision_ladder)
+            if precision is not None and ladder[-1] != float(precision):
+                raise ValueError(
+                    f"precision_ladder must end at precision="
+                    f"{precision}, got {ladder}")
+            return ladder
+        target = float(precision) if precision is not None else 0.0
+        if budget is not None:
+            return ladder_to(target)
+        return (target,)
+
+    def _optimize_anytime(self, query: Query, scenario: str | None,
+                          precision: float | None,
+                          budget: Budget | None, precision_ladder
+                          ) -> BatchItem:
+        """Shared anytime path behind ``optimize``/``optimize_iter``."""
+        self._check_open()
+        scenario_name = self._scenario_name(scenario)
+        ladder = self._resolve_ladder(precision, budget, precision_ladder)
+        target = ladder[-1]
+        options = self._anytime_options(target)
+        signature = self._signature(query, scenario_name, options=options)
+        cached = self._cached_item(0, signature, scenario_name,
+                                   max_alpha=target)
+        if cached is not None:
+            return cached
+        anytime = {"ladder": ladder,
+                   "budget": budget.as_dict() if budget else None}
+        if self.workers > 1:
+            item_future, raw = self._submit_pooled(
+                0, signature, scenario_name, query, options=options,
+                anytime=anytime)
+            if self.timeout_seconds is None:
+                return item_future.result()
+            # The cooperative budget is the primary bound, but the
+            # session deadline still backstops a hung worker — same
+            # semantics as map(): report "timeout", recycle a worker
+            # caught still executing, keep the session usable.
+            try:
+                return item_future.result(timeout=self.timeout_seconds)
+            except FutureTimeoutError:
+                if raw is not None and not raw.cancel() and (
+                        not raw.done()):
+                    self._recycle_pool()
+                return self._error_item(
+                    0, signature, scenario_name, "timeout",
+                    f"no result within {self.timeout_seconds}s of call "
+                    f"start")
+        return self._run_serial(0, signature, scenario_name, query,
+                                options=options, anytime=anytime)
+
+    def optimize_iter(self, query: Query, *,
+                      scenario: str | None = None,
+                      precision_ladder=None,
+                      budget: Budget | None = None
+                      ) -> Iterator[ProgressEvent]:
+        """Stream an anytime run's progress as it tightens.
+
+        Yields :class:`~repro.core.run.ProgressEvent` objects; every
+        ``"rung_completed"`` event carries the rung's decoded plan set
+        (``event.plan_set``) with its ``alpha``/``guarantee``, so a
+        consumer can start serving from the first (coarsest) rung while
+        later rungs refine.  Each rung warm-starts from the previous
+        rung's DP work (plan-cost memo + LP memo), so the ladder costs
+        far less than independent runs.
+
+        On the serial path events stream live, step by step; a pooled
+        session runs the ladder in one worker task and replays the trail
+        on receipt (same events, delivered after the run finishes).  One
+        ``budget`` window spans the whole ladder.
+
+        Args:
+            query: The query to optimize.
+            scenario: Scenario name override.
+            precision_ladder: Strictly decreasing alphas; defaults to
+                :data:`repro.core.run.DEFAULT_PRECISION_LADDER`.
+            budget: Cooperative budget over the whole iteration.
+        """
+        self._check_open()
+        scenario_name = self._scenario_name(scenario)
+        ladder = validate_ladder(
+            precision_ladder if precision_ladder is not None
+            else ladder_to(self._target_alpha()))
+        target = ladder[-1]
+        options = self._anytime_options(target)
+        signature = self._signature(query, scenario_name, options=options)
+        cached = self._cached_item(0, signature, scenario_name,
+                                   max_alpha=target)
+        if cached is not None:
+            # A warm plan set at (or tighter than) the target: the whole
+            # ladder collapses to one already-completed rung.
+            yield ProgressEvent(
+                kind="rung_completed", rung=len(ladder) - 1,
+                alpha=cached.alpha, guarantee=cached.guarantee,
+                plan_count=len(cached.plan_set.entries),
+                units_done=0, units_total=0, lps_solved=0, seconds=0.0,
+                plan_set=cached.plan_set)
+            return
+        if self.workers > 1:
+            item = self._optimize_anytime(query, scenario_name, None,
+                                          budget, ladder)
+            if item.status == "error":
+                # The serial path propagates run failures to the
+                # consumer; an empty event stream must not masquerade as
+                # a (failed) completed ladder on the pooled path either.
+                raise OptimizationError(
+                    f"anytime run failed in worker: {item.error}")
+            yield from item.events
+            return
+        run = self.registry.get(scenario_name).start_run(
+            query, resolution=self.resolution, options=options,
+            precision_ladder=ladder)
+        previous = None
+        if self.lp_memo is not None:
+            previous = install_shared_lp_cache(self.lp_memo)
+        try:
+            for event in run.iter_run(budget):
+                if event.kind == "rung_completed":
+                    outcome = run.completed[event.rung]
+                    doc = encode_result(outcome.result)
+                    if self.warm_start:
+                        self.cache.put(signature, doc,
+                                       alpha=outcome.alpha)
+                    event = replace(event,
+                                    plan_set=decode_plan_set(doc))
+                yield event
+        finally:
+            if self.lp_memo is not None:
+                install_shared_lp_cache(previous)

@@ -1,0 +1,110 @@
+"""Deprecation-shim semantics: caller attribution and once-per-callsite.
+
+The three legacy entry points (``optimize_cloud_query``,
+``optimize_with``, ``BatchOptimizer``) must attribute their
+``DeprecationWarning`` to the *caller's* line (correct ``stacklevel``).
+That attribution is also what makes Python's default ``"default"``
+warning filter behave as once per callsite: the once-registry is keyed
+by the warning's reported location, so a wrong stacklevel pins every
+caller to one internal line and only the first caller ever sees the
+warning.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.cloud import CloudCostModel
+from repro.core import PWLBackend, optimize_cloud_query, optimize_with
+from repro.query import QueryGenerator
+from repro.service import BatchOptimizer, BatchOptions
+
+
+def _query():
+    return QueryGenerator(seed=0).generate(2, "chain", 1)
+
+
+def _call_optimize_cloud_query(query):
+    return optimize_cloud_query(query, resolution=2)
+
+
+def _call_optimize_with(query):
+    return optimize_with(PWLBackend(CloudCostModel(query, resolution=2)),
+                         query)
+
+
+def _call_batch_optimizer():
+    return BatchOptimizer(BatchOptions(workers=0))
+
+
+SHIM_CALLS = [
+    ("optimize_cloud_query", _call_optimize_cloud_query),
+    ("optimize_with", _call_optimize_with),
+    ("BatchOptimizer", _call_batch_optimizer),
+]
+
+
+class TestCallerAttribution:
+    """Each shim's warning points at the calling frame, not the shim."""
+
+    def _single_warning(self, invoke):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            invoke()
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1, deprecations
+        return deprecations[0]
+
+    def test_optimize_cloud_query_points_at_caller(self):
+        warning = self._single_warning(
+            lambda: _call_optimize_cloud_query(_query()))
+        assert warning.filename == __file__
+        assert "OptimizerSession" in str(warning.message)
+
+    def test_optimize_with_points_at_caller(self):
+        warning = self._single_warning(
+            lambda: _call_optimize_with(_query()))
+        assert warning.filename == __file__
+        assert "OptimizerSession" in str(warning.message)
+
+    def test_batch_optimizer_points_at_caller(self):
+        """Regression: the warning fires inside ``__post_init__``, one
+        frame below the dataclass-generated ``__init__`` — stacklevel
+        must skip both."""
+        warning = self._single_warning(_call_batch_optimizer)
+        assert warning.filename == __file__
+        assert "OptimizerSession" in str(warning.message)
+
+
+class TestOncePerCallsite:
+    """Under the stock ``"default"`` filter each callsite warns once."""
+
+    def test_repeat_calls_from_one_line_warn_once(self):
+        query = _query()
+        for name, invoke in SHIM_CALLS:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.resetwarnings()
+                warnings.simplefilter("default")
+                for __ in range(3):
+                    if name == "BatchOptimizer":
+                        invoke()
+                    else:
+                        invoke(query)
+            deprecations = [w for w in caught
+                            if issubclass(w.category, DeprecationWarning)]
+            assert len(deprecations) == 1, (name, deprecations)
+
+    def test_distinct_callsites_each_warn(self):
+        query = _query()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.resetwarnings()
+            warnings.simplefilter("default")
+            _call_optimize_cloud_query(query)   # callsite helper 1
+            _call_optimize_with(query)          # callsite helper 2
+            _call_batch_optimizer()             # callsite helper 3
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 3
+        lines = {w.lineno for w in deprecations}
+        assert len(lines) == 3  # three distinct reported callsites

@@ -76,3 +76,11 @@ def test_streaming_service():
     assert "cloud" in out and "approx" in out
     assert "submit() future resolved" in out
     assert "approx scenario: [ok]" in out
+
+
+def test_anytime_service():
+    out = run_example("anytime_service.py")
+    assert "alpha=0.5" in out
+    assert "guarantee= 1.000x" in out  # final rung is exact
+    assert "status=partial" in out
+    assert "second call: completed" in out

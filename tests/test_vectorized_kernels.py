@@ -120,6 +120,67 @@ class TestUnalignedKernelEquivalence:
         assert _pwl_key(batched) == _pwl_key(scalar)
 
 
+class TestBoundsAndExtremumEquivalence:
+    """Batched bounds_on / maximum / minimum vs. the scalar loops."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bounds_on_identical(self, monkeypatch, seed):
+        rng = np.random.default_rng(300 + seed)
+        space = ConvexPolytope.unit_box(2)
+        function = _random_unaligned_pwl(rng, space, 3)
+        lo = rng.uniform(0.0, 0.4, 2)
+        region = ConvexPolytope.box(lo, lo + rng.uniform(0.3, 0.5, 2))
+        monkeypatch.setenv("REPRO_SCALAR_KERNELS", "1")
+        scalar = function.bounds_on(region, _solver())
+        monkeypatch.setenv("REPRO_SCALAR_KERNELS", "")
+        batched = function.bounds_on(region, _solver())
+        assert (float(batched[0]).hex(), float(batched[1]).hex()) == (
+            float(scalar[0]).hex(), float(scalar[1]).hex())
+
+    def test_bounds_on_raises_off_domain(self, monkeypatch):
+        rng = np.random.default_rng(42)
+        space = ConvexPolytope.unit_box(2)
+        function = _random_unaligned_pwl(rng, space, 2)
+        outside = ConvexPolytope.box([2.0, 2.0], [3.0, 3.0])
+        from repro.errors import EmptyRegionError
+        for env in ("1", ""):
+            monkeypatch.setenv("REPRO_SCALAR_KERNELS", env)
+            with pytest.raises(EmptyRegionError):
+                function.bounds_on(outside, _solver())
+
+    def test_bounds_on_raises_when_unbounded(self, monkeypatch):
+        """Non-empty overlaps whose min/max LPs are all unbounded must
+        raise rather than return the unusable (inf, -inf) pair."""
+        from repro.errors import EmptyRegionError
+        universe = ConvexPolytope.universe(2)
+        function = PiecewiseLinearFunction.affine(universe, [1.0, 0.0],
+                                                  0.0)
+        for env in ("1", ""):
+            monkeypatch.setenv("REPRO_SCALAR_KERNELS", env)
+            with pytest.raises(EmptyRegionError, match="bounded"):
+                function.bounds_on(universe, _solver())
+
+    @pytest.mark.parametrize("seed,take_max", [
+        (0, True), (1, True), (2, False), (3, False)])
+    def test_extremum_identical(self, monkeypatch, seed, take_max):
+        """The crossing-split general path (unaligned operands) batches
+        its emptiness LPs; piece lists must match bit for bit."""
+        rng = np.random.default_rng(400 + seed)
+        space = ConvexPolytope.unit_box(2)
+        one = _random_unaligned_pwl(rng, space, 3)
+        two = _random_unaligned_pwl(rng, space, 2)
+        combine = (PiecewiseLinearFunction.maximum if take_max
+                   else PiecewiseLinearFunction.minimum)
+        monkeypatch.setenv("REPRO_SCALAR_KERNELS", "1")
+        scalar = combine(one, two, _solver())
+        monkeypatch.setenv("REPRO_SCALAR_KERNELS", "")
+        batched = combine(one, two, _solver())
+        assert _pwl_key(batched) == _pwl_key(scalar)
+        # Spot-check values at sample points too.
+        for x in ([0.15, 0.4], [0.55, 0.8], [0.9, 0.1]):
+            assert batched.evaluate(x) == scalar.evaluate(x)
+
+
 class TestBatchedDifferenceEquivalence:
     """subtract_polytope_many vs. per-base subtract_polytope."""
 
