@@ -36,12 +36,14 @@ family from the refresh silently removes its gates)::
         --json bench-anytime-cloud.json
     python benchmarks/bench_anytime_ladder.py --scenario approx \
         --json bench-anytime-approx.json
+    python benchmarks/bench_lp_kernels.py --json bench-lp-kernels.json
     python benchmarks/bench_compare.py refresh \
         --baseline benchmarks/baselines/bench-smoke.json \
         --fig12 bench-fig12-chain.json --ablation bench-ablation.json \
         --throughput bench-batch-throughput.json \
         bench-topology-star.json \
-        --anytime bench-anytime-cloud.json bench-anytime-approx.json
+        --anytime bench-anytime-cloud.json bench-anytime-approx.json \
+        --lpkernels bench-lp-kernels.json
 
 PRs labeled ``perf-regression-ok`` skip the CI gate (see README).
 """
@@ -164,6 +166,35 @@ def _anytime_metrics(path: str) -> dict[str, dict]:
     return metrics
 
 
+def _lp_kernel_metrics(path: str) -> dict[str, dict]:
+    """Tracked metrics from the stacked-simplex microbenchmark JSON.
+
+    Pivot rounds, batch occupancy and the scalar-fallback count are
+    deterministic (stable CRC-seeded LPs) and gated: rounds grow when
+    pivot trajectories regress, occupancy grows toward 1.0 when
+    finished problems stop freezing, and any fallback means the kernel
+    stopped handling its own workload.  Timings/speedups are
+    informational.
+    """
+    metrics: dict[str, dict] = {}
+    for point in _load(path).get("lp_kernels", []):
+        tag = (f"lpkernels.{point['n_vars']}x{point['n_constraints']}"
+               f".b{point['batch']}")
+        metrics[f"{tag}.rounds"] = {
+            "value": point["rounds"], "direction": "lower",
+            "tolerance": DEFAULT_TOLERANCE, "gate": True}
+        metrics[f"{tag}.occupancy"] = {
+            "value": point["occupancy"], "direction": "lower",
+            "tolerance": DEFAULT_TOLERANCE, "gate": True}
+        metrics[f"{tag}.fallbacks"] = {
+            "value": point["fallbacks"], "direction": "lower",
+            "tolerance": DEFAULT_TOLERANCE, "gate": True}
+        metrics[f"{tag}.speedup"] = {
+            "value": point["speedup"], "direction": "higher",
+            "tolerance": DEFAULT_TOLERANCE, "gate": False}
+    return metrics
+
+
 def _throughput_metrics(path: str) -> dict[str, dict]:
     """Tracked metrics from the throughput harness JSON (informational:
     queries/second on shared runners is too noisy to gate)."""
@@ -196,6 +227,8 @@ def collect_metrics(args) -> dict[str, dict]:
         metrics.update(_throughput_metrics(path))
     for path in args.anytime or ():
         metrics.update(_anytime_metrics(path))
+    if args.lpkernels:
+        metrics.update(_lp_kernel_metrics(args.lpkernels))
     if not metrics:
         raise SystemExit("no tracked metrics found in the given artifacts")
     return metrics
@@ -293,6 +326,9 @@ def main() -> int:
     parser.add_argument("--anytime", nargs="*", default=(),
                         help="anytime-ladder (time-to-first-guarantee) "
                              "JSON report(s)")
+    parser.add_argument("--lpkernels", default=None,
+                        help="stacked-simplex microbenchmark JSON "
+                             "(bench_lp_kernels.py --json)")
     parser.add_argument("--allow-regression", action="store_true",
                         help="report regressions but exit 0 (local "
                              "experimentation)")

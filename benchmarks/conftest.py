@@ -34,6 +34,10 @@ def optimize_and_record(benchmark, point: SweepPoint,
         "pareto_plans": measurement.pareto_plans,
         "lp_seconds": measurement.lp_seconds,
         "emptiness_lp_seconds": measurement.emptiness_lp_seconds,
+        "batch_lp_rounds": measurement.batch_lp_rounds,
+        "batch_lp_solves": measurement.batch_lp_solves,
+        "batch_lp_fallbacks": measurement.batch_lp_fallbacks,
+        "batch_lp_occupancy": measurement.batch_lp_occupancy,
     })
     return measurement
 

@@ -32,7 +32,15 @@ def main() -> None:
     print(f"PWL-RRPA finished in {stats.optimization_seconds:.2f}s: "
           f"{len(result.entries)} Pareto plans "
           f"({stats.plans_created} plans generated, "
-          f"{stats.lps_solved} LPs solved)\n")
+          f"{stats.lps_solved} LPs solved)")
+    # The LP substrate's own accounting: wall time inside LP backends
+    # and, when miss groups were wide enough to stack, the stacked
+    # simplex kernel's lockstep counters.
+    print(f"LP substrate: {stats.lp_seconds:.2f}s in backends, "
+          f"{stats.batch_lp_solves} LPs stacked over "
+          f"{stats.batch_lp_rounds} lockstep rounds "
+          f"(occupancy {stats.batch_lp_occupancy:.2f}, "
+          f"{stats.batch_lp_fallbacks} fallbacks)\n")
 
     # Run time: a user submits the query with a concrete predicate value
     # whose selectivity turns out to be 0.3.

@@ -2,15 +2,15 @@
 (batch, streaming, pool-regime) reporting."""
 
 from .reporting import (ascii_log_chart, figure12_report,
-                        format_anytime_ladder, format_pool_comparison,
-                        format_streaming_table, format_throughput_table,
-                        format_table)
+                        format_anytime_ladder, format_lp_kernel_table,
+                        format_pool_comparison, format_streaming_table,
+                        format_throughput_table, format_table)
 from .runner import (PAPER_FAITHFUL, AggregatedPoint, AnytimeLadderReport,
-                     AnytimeRungPoint, Measurement, StreamingPoint,
-                     ThroughputPoint, run_anytime_ladder,
-                     run_batch_throughput, run_point, run_pool_comparison,
-                     run_query_measurement, run_streaming_throughput,
-                     run_sweep)
+                     AnytimeRungPoint, LPKernelPoint, Measurement,
+                     StreamingPoint, ThroughputPoint, run_anytime_ladder,
+                     run_batch_throughput, run_lp_kernel_sweep, run_point,
+                     run_pool_comparison, run_query_measurement,
+                     run_streaming_throughput, run_sweep)
 from .workloads import (FULL, QUICK, SweepPoint, SweepProfile,
                         queries_for_point, sweep_points)
 
@@ -21,6 +21,7 @@ __all__ = [
     "AggregatedPoint",
     "AnytimeLadderReport",
     "AnytimeRungPoint",
+    "LPKernelPoint",
     "Measurement",
     "StreamingPoint",
     "SweepPoint",
@@ -29,6 +30,7 @@ __all__ = [
     "ascii_log_chart",
     "figure12_report",
     "format_anytime_ladder",
+    "format_lp_kernel_table",
     "format_pool_comparison",
     "format_streaming_table",
     "format_table",
@@ -36,6 +38,7 @@ __all__ = [
     "queries_for_point",
     "run_anytime_ladder",
     "run_batch_throughput",
+    "run_lp_kernel_sweep",
     "run_point",
     "run_pool_comparison",
     "run_query_measurement",

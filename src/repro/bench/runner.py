@@ -54,6 +54,14 @@ class Measurement:
         emptiness_lp_seconds: LP wall time of the region-emptiness cost
             center (the ``emptiness`` + ``chebyshev`` purposes) — the
             quantity the batched geometry kernels shrink.
+        batch_lp_rounds: Lockstep pivot rounds of the stacked simplex
+            kernel (deterministic; 0 when no miss group reached the
+            stacking threshold).
+        batch_lp_solves: LPs the stacked kernel answered.
+        batch_lp_fallbacks: Stacked-kernel stragglers re-solved on the
+            scalar path.
+        batch_lp_occupancy: Mean fraction of each stacked group still
+            pivoting per lockstep round.
     """
 
     point: SweepPoint
@@ -63,6 +71,10 @@ class Measurement:
     pareto_plans: int
     lp_seconds: float = 0.0
     emptiness_lp_seconds: float = 0.0
+    batch_lp_rounds: int = 0
+    batch_lp_solves: int = 0
+    batch_lp_fallbacks: int = 0
+    batch_lp_occupancy: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -106,7 +118,11 @@ def run_query_measurement(query, point: SweepPoint,
                        lps_solved=stats.lps_solved,
                        pareto_plans=len(result.entries),
                        lp_seconds=stats.lp_seconds,
-                       emptiness_lp_seconds=stats.emptiness_lp_seconds)
+                       emptiness_lp_seconds=stats.emptiness_lp_seconds,
+                       batch_lp_rounds=stats.batch_lp_rounds,
+                       batch_lp_solves=stats.batch_lp_solves,
+                       batch_lp_fallbacks=stats.batch_lp_fallbacks,
+                       batch_lp_occupancy=stats.batch_lp_occupancy)
 
 
 def run_point(point: SweepPoint, queries_per_point: int,
@@ -133,6 +149,147 @@ def run_sweep(profile: SweepProfile, shape: str,
     return [run_point(point, profile.queries_per_point, options=options,
                       base_seed=base_seed)
             for point in sweep_points(profile, shape)]
+
+
+# ----------------------------------------------------------------------
+# Stacked-simplex kernel microbenchmark
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LPKernelPoint:
+    """Stacked vs. per-LP simplex at one (shape, batch size) point.
+
+    The pivot-round, occupancy and fallback numbers are deterministic
+    (stable CRC-seeded LPs), so they join the gated CI perf baseline;
+    the timings and the speedup are informational.
+
+    Attributes:
+        n_vars / n_constraints: LP shape of every problem in the batch.
+        batch: Problems stacked per kernel call.
+        rounds: Lockstep pivot rounds one kernel call executed.
+        occupancy: Mean fraction of the batch still pivoting per round.
+        fallbacks: Problems flagged back to the scalar path.
+        scalar_seconds: Per-LP wall time of the scalar simplex.
+        stacked_seconds: Per-LP wall time of the stacked kernel.
+        speedup: ``scalar_seconds / stacked_seconds``.
+    """
+
+    n_vars: int
+    n_constraints: int
+    batch: int
+    rounds: int
+    occupancy: float
+    fallbacks: int
+    scalar_seconds: float
+    stacked_seconds: float
+    speedup: float
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (used by the CI bench artifact)."""
+        return {"n_vars": self.n_vars,
+                "n_constraints": self.n_constraints,
+                "batch": self.batch, "rounds": self.rounds,
+                "occupancy": self.occupancy,
+                "fallbacks": self.fallbacks,
+                "scalar_seconds": self.scalar_seconds,
+                "stacked_seconds": self.stacked_seconds,
+                "speedup": self.speedup}
+
+
+def _lp_kernel_batch(n_vars: int, n_constraints: int, batch: int,
+                     label: str) -> list[tuple]:
+    """Deterministic same-signature LP batch for the kernel sweep.
+
+    Seeds derive from a stable CRC32 digest of the point label (like
+    :func:`repro.bench.workloads.queries_for_point`), so counters are
+    machine- and Python-version-independent.  The first two constraint
+    rows get negative right-hand sides, giving every problem the same
+    artificial-column count (one stacking signature per point); every
+    fourth problem is made infeasible so the sweep exercises the
+    infeasibility path too.
+    """
+    import zlib
+
+    import numpy as np
+
+    problems = []
+    for index in range(batch):
+        seed = zlib.crc32(f"lpkernels-{label}-{index}".encode())
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(n_constraints, n_vars))
+        anchor = rng.uniform(-1.0, 1.0, size=n_vars)
+        b = a @ anchor + rng.uniform(0.1, 2.0, size=n_constraints)
+        # Exactly two rows with negative right-hand sides, so every
+        # problem of the point shares one two-artificial signature.
+        b[:2] = -np.abs(b[:2]) - 0.1
+        b[2:] = np.abs(b[2:]) + 0.1
+        if index % 4 == 3:
+            # Contradictory pair: a[0] @ x <= -1 and -a[0] @ x <= -1.
+            a[1] = -a[0]
+            b[0] = b[1] = -1.0
+        c = rng.normal(size=n_vars)
+        problems.append((c, a, b, [(None, None)] * n_vars))
+    return problems
+
+
+def run_lp_kernel_sweep(shapes: tuple[tuple[int, int], ...] = (
+                            (3, 8), (4, 14), (6, 24)),
+                        batch_sizes: tuple[int, ...] = (1, 2, 4, 8, 16,
+                                                        64),
+                        repeats: int = 5) -> list[LPKernelPoint]:
+    """Microbenchmark the stacked-tableau kernel against the scalar path.
+
+    Every point solves the *same* deterministic LP batch twice — once
+    per problem through :func:`repro.lp.solve_simplex`, once as one
+    stacked :func:`repro.lp.solve_simplex_batch` call — asserts the
+    answers are bit-identical, and reports the kernel's deterministic
+    pivot counters next to the wall-clock speedup.
+    """
+    from ..lp import solve_simplex
+    from ..lp.batch_simplex import solve_simplex_batch, standard_form
+
+    points = []
+    for n_vars, n_constraints in shapes:
+        for batch in batch_sizes:
+            label = f"{n_vars}x{n_constraints}b{batch}"
+            problems = _lp_kernel_batch(n_vars, n_constraints, batch,
+                                        label)
+            signatures = {standard_form(*problem).signature
+                          for problem in problems}
+            if len(signatures) != 1:  # pragma: no cover - generator bug
+                raise RuntimeError(f"mixed signatures at {label}")
+            report = None
+            started = time.perf_counter()
+            for __ in range(repeats):
+                # Time the conversion too — the product path pays it
+                # per miss, and the scalar leg's solve_simplex includes
+                # the same work (symmetric comparison).
+                forms = [standard_form(*problem)
+                         for problem in problems]
+                report = solve_simplex_batch(forms)
+            stacked = (time.perf_counter() - started) / (repeats * batch)
+            scalar_results = None
+            started = time.perf_counter()
+            for __ in range(repeats):
+                scalar_results = [solve_simplex(*problem)
+                                  for problem in problems]
+            scalar = (time.perf_counter() - started) / (repeats * batch)
+            for got, want in zip(report.results, scalar_results):
+                if got is None:
+                    continue  # flagged straggler: solved by fallback
+                assert got.status == want.status
+                if got.status == "optimal":
+                    assert (got.x == want.x).all()
+                    assert got.objective == want.objective
+            occupancy = (report.active_rounds / report.round_slots
+                         if report.round_slots else 0.0)
+            points.append(LPKernelPoint(
+                n_vars=n_vars, n_constraints=n_constraints, batch=batch,
+                rounds=report.rounds, occupancy=occupancy,
+                fallbacks=report.fallbacks, scalar_seconds=scalar,
+                stacked_seconds=stacked,
+                speedup=scalar / stacked if stacked > 0 else float("inf")))
+    return points
 
 
 # ----------------------------------------------------------------------

@@ -69,6 +69,26 @@ class OptimizerStats:
         return (by_purpose.get("emptiness", 0.0)
                 + by_purpose.get("chebyshev", 0.0))
 
+    @property
+    def batch_lp_rounds(self) -> int:
+        """Lockstep pivot rounds executed by the stacked simplex kernel."""
+        return self.lp_stats.batch_rounds
+
+    @property
+    def batch_lp_solves(self) -> int:
+        """LPs answered by the stacked kernel (subset of ``lps_solved``)."""
+        return self.lp_stats.batch_solves
+
+    @property
+    def batch_lp_fallbacks(self) -> int:
+        """Stacked-kernel stragglers re-solved on the scalar path."""
+        return self.lp_stats.batch_fallbacks
+
+    @property
+    def batch_lp_occupancy(self) -> float:
+        """Mean fraction of each stacked group still pivoting per round."""
+        return self.lp_stats.batch_occupancy()
+
     def summary(self) -> dict[str, float]:
         """Return the headline numbers as a plain dict (for reporting)."""
         return {
@@ -83,5 +103,9 @@ class OptimizerStats:
             "lp_cache_hits": self.lp_stats.cache_hits,
             "lp_seconds": self.lp_seconds,
             "emptiness_lp_seconds": self.emptiness_lp_seconds,
+            "batch_lp_rounds": self.batch_lp_rounds,
+            "batch_lp_solves": self.batch_lp_solves,
+            "batch_lp_fallbacks": self.batch_lp_fallbacks,
+            "batch_lp_occupancy": self.batch_lp_occupancy,
             "optimization_seconds": self.optimization_seconds,
         }

@@ -1,0 +1,384 @@
+"""Stacked-tableau batch simplex: pivot whole LP batches in lockstep.
+
+The optimizer's hot path solves thousands of structurally similar tiny
+LPs (region-emptiness feasibility checks, Chebyshev centers, piece
+bounds).  :meth:`repro.lp.LinearProgramSolver.solve_many` already batches
+the *call sites*; this module batches the *pivoting*: a group of LPs
+whose standard forms share one shape is stacked into 3-D NumPy tableaus
+``(batch, rows, cols)`` and the two-phase simplex of
+:mod:`repro.lp.simplex` runs one lockstep pivot round at a time across
+the whole stack — vectorized reduced costs, Bland's-rule entering
+columns via ``argmax`` over boolean eligibility, vectorized ratio tests,
+and per-problem status masks so finished problems freeze while
+stragglers keep pivoting.
+
+Bit-identity contract
+---------------------
+
+Every problem follows *exactly* the trajectory the scalar
+:func:`~repro.lp.simplex.solve_simplex` would take, so results (status,
+optimizer, objective) are bit-identical to today's answers:
+
+* standard-form conversion reuses the scalar
+  :func:`~repro.lp.simplex._to_standard_form` per problem;
+* the per-round linear algebra uses only operations whose stacked forms
+  are bitwise equal to their scalar counterparts on this substrate —
+  the ``np.linalg.solve`` gufunc over ``(k, m, m)`` stacks (one
+  right-hand side per slice) and batched ``matmul`` at *identical*
+  per-problem shapes (verified by the equivalence test suite; column
+  padding is **not** bit-stable, which is why groups are keyed on the
+  artificial-column count as well);
+* pivot decisions (Bland's first improving column, the
+  ``(ratio, basis label)`` leaving tie-break, the phase-1 feasibility
+  threshold, the per-phase iteration budget) replicate the scalar code
+  decision for decision on those identical floats.
+
+Problems the scalar path would abandon with a :class:`SolverError`
+(singular basis, phase-1 unbounded, iteration overflow) — plus the
+pathological non-finite ratio case — are *flagged* instead of solved:
+their report slot is ``None`` and the caller re-runs them through the
+per-problem scalar/scipy path, reproducing today's behaviour exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .simplex import (_EPS, SimplexResult, _basis_solve_masked,
+                      _to_standard_form)
+
+#: Phase-1 objective threshold above which a problem is infeasible
+#: (identical to the scalar ``_simplex_core``).
+_PHASE1_TOL = 1e-7
+
+#: Big-M coefficient pinning artificial variables at zero in phase 2
+#: (identical to the scalar ``_simplex_core``).
+_BIG_M = 1e7
+
+#: Sentinel basis label larger than any real column index.
+_NO_LABEL = np.iinfo(np.int64).max
+
+# Problem status codes while pivoting.
+_RUNNING, _OPTIMAL, _INFEASIBLE, _UNBOUNDED, _FALLBACK = range(5)
+
+
+@dataclass(frozen=True)
+class StandardForm:
+    """One LP converted to the scalar solver's equality standard form.
+
+    Attributes:
+        c: Original objective vector (used for the final objective value).
+        c_std: Standard-form objective over the split/shifted columns.
+        a_std: Standard-form inequality matrix.
+        b_std: Standard-form right-hand side (shifted).
+        recover: Maps a standard-form solution back to original space.
+        signature: Stacking key ``(rows, cols, artificials)`` — problems
+            stack together only when all three match, because the batched
+            reduced-cost product is bitwise equal to the scalar one only
+            at identical tableau widths.
+        seconds: Wall time spent on the conversion (charged to the
+            problem's LP purpose by the caller).
+    """
+
+    c: np.ndarray
+    c_std: np.ndarray
+    a_std: np.ndarray
+    b_std: np.ndarray
+    recover: object
+    signature: tuple[int, int, int]
+    seconds: float
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Outcome of one stacked-tableau solve.
+
+    Attributes:
+        results: One :class:`SimplexResult` per problem in input order;
+            ``None`` marks a straggler flagged for the scalar fallback.
+        rounds: Lockstep pivot rounds executed for the group.
+        active_rounds: Total problem-rounds (sum over rounds of the
+            number of problems still pivoting) — the numerator of the
+            batch-occupancy metric.
+        round_slots: ``rounds * batch`` — the occupancy denominator.
+        problem_rounds: Per-problem count of rounds each was active
+            (used to split the group's wall time across purposes).
+        fallbacks: Number of problems flagged for the scalar path.
+        seconds: Wall time of the stacked solve.
+    """
+
+    results: list[SimplexResult | None]
+    rounds: int
+    active_rounds: int
+    round_slots: int
+    problem_rounds: np.ndarray
+    fallbacks: int
+    seconds: float
+
+
+def standard_form(c, a_ub, b_ub, bounds) -> StandardForm:
+    """Convert one prepared LP to standard form and derive its signature.
+
+    Inputs must already be normalized as by
+    :meth:`repro.lp.LinearProgramSolver._prepare`.
+    """
+    started = time.perf_counter()
+    c = np.asarray(c, dtype=float)
+    c_std, a_std, b_std, recover, __ = _to_standard_form(
+        c, a_ub, b_ub, list(bounds))
+    n_art = int(np.sum(b_std < -_EPS))
+    signature = (int(a_std.shape[0]), int(a_std.shape[1]), n_art)
+    return StandardForm(c=c, c_std=c_std, a_std=a_std, b_std=b_std,
+                        recover=recover, signature=signature,
+                        seconds=time.perf_counter() - started)
+
+
+def _stacked_solve(mats: np.ndarray, vecs: np.ndarray
+                   ) -> tuple[np.ndarray, np.ndarray | None]:
+    """Stacked basis solve with per-slice singularity flags.
+
+    LAPACK solves every slice independently and fills singular ones with
+    NaN (good slices keep their exact scalar bits), so a cheap
+    sum-compare detects the rare bad round and the NaN rows become the
+    flag mask.  Returns ``(solutions, bad_mask_or_None)``.
+    """
+    out = _basis_solve_masked(mats, vecs)
+    total = out.sum()
+    if total == total:
+        return out, None
+    bad = np.isnan(out).any(axis=1)
+    if not bad.any():  # pragma: no cover - inf-only poisoned sum
+        return out, None
+    return out, bad
+
+
+def solve_simplex_batch(forms: Sequence[StandardForm]) -> BatchReport:
+    """Solve a group of same-signature LPs with lockstep pivot rounds.
+
+    Args:
+        forms: Standard forms sharing one ``signature`` (enforced).
+
+    Returns:
+        A :class:`BatchReport`; flagged stragglers have ``None`` results.
+    """
+    started = time.perf_counter()
+    k = len(forms)
+    rows, base_cols, n_art = forms[0].signature
+    for form in forms:
+        if form.signature != forms[0].signature:
+            raise ValueError("mixed stacking signatures in one batch")
+    m = rows
+    total_cols = base_cols + m + n_art
+    slack0 = base_cols
+    art0 = base_cols + m
+
+    # Stacked tableau setup — the vectorized equivalent of the scalar
+    # ``_simplex_core`` preamble: [A | I] columns, rows with a negative
+    # right-hand side negated in place, one artificial column per such
+    # row appended in row order (so artificial column indices match the
+    # scalar layout exactly).
+    tableau = np.zeros((k, m, total_cols))
+    tableau[:, :, :base_cols] = np.stack([form.a_std for form in forms])
+    tableau[:, :, slack0:art0] = np.eye(m)
+    rhs = np.stack([form.b_std for form in forms]).astype(float)
+    negative = rhs < -_EPS
+    art_rank = np.cumsum(negative, axis=1) - 1
+    tableau[negative] *= -1.0
+    rhs[negative] *= -1.0
+    problem_of_art, row_of_art = np.nonzero(negative)
+    art_cols = art0 + art_rank[problem_of_art, row_of_art]
+    tableau[problem_of_art, row_of_art, art_cols] = 1.0
+    basis = np.tile(np.arange(slack0, art0, dtype=np.int64), (k, 1))
+    basis[problem_of_art, row_of_art] = art_cols
+    in_basis = np.zeros((k, total_cols), dtype=bool)
+    np.put_along_axis(in_basis, basis, True, axis=1)
+    p2cost = np.zeros((k, total_cols))
+    p2cost[:, :forms[0].c_std.shape[0]] = np.stack(
+        [form.c_std for form in forms])
+    p2cost[problem_of_art, art_cols] = _BIG_M
+    p1cost = np.zeros((k, total_cols))
+    p1cost[problem_of_art, art_cols] = 1.0
+    phase = np.where(negative.any(axis=1), 1, 2).astype(np.int8)
+    cost_cur = np.where((phase == 1)[:, None], p1cost, p2cost)
+    # Column-major twin of the tableau: gathering basis columns (the
+    # per-round basis matrices, transposed) and entering columns becomes
+    # plain integer indexing on axis 1.
+    tableau_t = np.ascontiguousarray(tableau.transpose(0, 2, 1))
+
+    status = np.full(k, _RUNNING, dtype=np.int8)
+    final_xb = np.zeros((k, m))
+    iters = np.zeros(k, dtype=np.int64)
+    problem_rounds = np.zeros(k, dtype=np.int64)
+    # Identical per-phase budget to the scalar ``run_phase``.
+    max_iters = 500 * (total_cols + m + 10)
+    rounds = 0
+    active_rounds = 0
+
+    while True:
+        act = np.flatnonzero(status == _RUNNING)
+        if act.size == 0:
+            break
+        rounds += 1
+        active_rounds += int(act.size)
+        problem_rounds[act] += 1
+        over = iters[act] >= max_iters
+        if over.any():
+            # The scalar phase loop would raise "iteration limit
+            # exceeded" here — flag for the per-problem fallback.
+            status[act[over]] = _FALLBACK
+            act = act[~over]
+            if act.size == 0:
+                continue
+        iters[act] += 1
+
+        basis_act = basis[act]
+        cost_act = cost_cur[act]
+        # bt[i] holds problem act[i]'s basis matrix TRANSPOSED (rows of
+        # tableau_t are tableau columns) — exactly the matrix the dual
+        # solve wants.
+        bt = tableau_t[act[:, None], basis_act]
+        cb = cost_act[np.arange(act.size)[:, None], basis_act]
+        y, bad = _stacked_solve(bt, cb)
+        if bad is not None:
+            status[act[bad]] = _FALLBACK
+            keep = ~bad
+            act, basis_act, cost_act = act[keep], basis_act[keep], \
+                cost_act[keep]
+            bt, cb, y = bt[keep], cb[keep], y[keep]
+            if act.size == 0:
+                continue
+        reduced = cost_act - (y[:, None, :] @ tableau[act])[:, 0, :]
+        eligible = ~in_basis[act] & (reduced < -_EPS)
+        has_entering = eligible.any(axis=1)
+        entering = np.argmax(eligible, axis=1)
+
+        finishing = np.flatnonzero(~has_entering)
+        if finishing.size:
+            rows_f = act[finishing]
+            xb, bad = _stacked_solve(
+                bt[finishing].transpose(0, 2, 1), rhs[rows_f])
+            if bad is not None:
+                status[rows_f[bad]] = _FALLBACK
+                rows_f, finishing = rows_f[~bad], finishing[~bad]
+                xb = xb[~bad]
+            if rows_f.size:
+                in_phase1 = phase[rows_f] == 1
+                if in_phase1.any():
+                    p1_rows = rows_f[in_phase1]
+                    cb1 = cb[finishing[in_phase1]]
+                    value = (cb1[:, None, :] @ xb[in_phase1][:, :, None]
+                             )[:, 0, 0]
+                    infeasible = value > _PHASE1_TOL
+                    status[p1_rows[infeasible]] = _INFEASIBLE
+                    promote = p1_rows[~infeasible]
+                    phase[promote] = 2
+                    cost_cur[promote] = p2cost[promote]
+                    iters[promote] = 0  # fresh scalar run_phase budget
+                done2 = rows_f[~in_phase1]
+                final_xb[done2] = xb[~in_phase1]
+                status[done2] = _OPTIMAL
+
+        pivoting = np.flatnonzero(has_entering)
+        if pivoting.size == 0:
+            continue
+        rows_p = act[pivoting]
+        ent_p = entering[pivoting]
+        bmat_p = bt[pivoting].transpose(0, 2, 1)
+        ecol = tableau_t[rows_p, ent_p]
+        # One gufunc call solves both basis systems of every pivoting
+        # problem (bitwise equal per slice to separate solves: every
+        # slice still carries a single right-hand side).
+        col_and_xb, bad = _stacked_solve(
+            np.concatenate((bmat_p, bmat_p)),
+            np.concatenate((ecol, rhs[rows_p])))
+        half = rows_p.size
+        col, xb = col_and_xb[:half], col_and_xb[half:]
+        if bad is not None:
+            bad = bad[:half] | bad[half:]
+            status[rows_p[bad]] = _FALLBACK
+            keep = ~bad
+            rows_p, ent_p, col, xb = rows_p[keep], ent_p[keep], \
+                col[keep], xb[keep]
+            if rows_p.size == 0:
+                continue
+        pos = col > _EPS
+        no_pivot = ~pos.any(axis=1)
+        if no_pivot.any():
+            # Unbounded phase: phase 2 is a genuine unbounded verdict;
+            # phase 1 is the scalar path's "should be impossible" raise.
+            unbounded_rows = rows_p[no_pivot]
+            in_phase2 = phase[unbounded_rows] == 2
+            status[unbounded_rows[in_phase2]] = _UNBOUNDED
+            status[unbounded_rows[~in_phase2]] = _FALLBACK
+            keep = ~no_pivot
+            rows_p, ent_p, col, xb, pos = rows_p[keep], ent_p[keep], \
+                col[keep], xb[keep], pos[keep]
+            if rows_p.size == 0:
+                continue
+        ratios = np.divide(xb, col, out=np.full_like(xb, np.inf),
+                           where=pos)
+        nan_rows = np.isnan(ratios).any(axis=1)
+        if nan_rows.any():
+            status[rows_p[nan_rows]] = _FALLBACK
+            keep = ~nan_rows
+            rows_p, ent_p, ratios, pos = rows_p[keep], ent_p[keep], \
+                ratios[keep], pos[keep]
+            if rows_p.size == 0:
+                continue
+        # Scalar tie-break: minimal ratio, then minimal basis label
+        # (exact float comparison, matching the scalar sort key; only
+        # rows with a positive pivot entry compete).
+        basis_p = basis[rows_p]
+        min_ratio = ratios.min(axis=1)
+        tie = (ratios == min_ratio[:, None]) & pos
+        labels = np.where(tie, basis_p, _NO_LABEL)
+        min_label = labels.min(axis=1)
+        leaving = np.argmax(labels == min_label[:, None], axis=1)
+        old_label = basis[rows_p, leaving]
+        in_basis[rows_p, old_label] = False
+        basis[rows_p, leaving] = ent_p
+        in_basis[rows_p, ent_p] = True
+
+    results: list[SimplexResult | None] = []
+    for i, form in enumerate(forms):
+        if status[i] == _OPTIMAL:
+            x_full = np.zeros(total_cols)
+            x_full[basis[i]] = final_xb[i]
+            x = form.recover(x_full[:len(form.c_std)])
+            results.append(SimplexResult(
+                status="optimal", x=x, objective=float(form.c @ x)))
+        elif status[i] == _INFEASIBLE:
+            results.append(SimplexResult("infeasible", None, None))
+        elif status[i] == _UNBOUNDED:
+            results.append(SimplexResult("unbounded", None, None))
+        else:
+            results.append(None)
+    return BatchReport(
+        results=results, rounds=rounds, active_rounds=active_rounds,
+        round_slots=rounds * k, problem_rounds=problem_rounds,
+        fallbacks=int(np.sum(status == _FALLBACK)),
+        seconds=time.perf_counter() - started)
+
+
+def is_stackable(signature: tuple[int, int, int]) -> bool:
+    """Whether a signature describes a tableau the kernel can pivot.
+
+    Degenerate constraint-free problems (zero standard-form rows) keep
+    using the scalar path — they are trivial anyway and the stacked
+    setup assumes at least one row.
+    """
+    rows, cols, __ = signature
+    return rows > 0 and cols > 0
+
+
+__all__ = [
+    "BatchReport",
+    "StandardForm",
+    "is_stackable",
+    "solve_simplex_batch",
+    "standard_form",
+]

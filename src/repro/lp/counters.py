@@ -27,6 +27,18 @@ class LPStats:
             a backend (not counted in ``solved`` — the paper's "#solved
             linear programs" metric reports actual solver work).
         seconds: Total wall-clock time spent inside LP backends.
+        batch_groups: Same-shape LP groups executed by the stacked
+            simplex kernel (:mod:`repro.lp.batch_simplex`).
+        batch_solves: LPs answered by the stacked kernel (each is also
+            counted in ``solved`` — batching changes *how* an LP is
+            pivoted, never whether it counts).
+        batch_rounds: Lockstep pivot rounds executed across all groups.
+        batch_active_rounds: Total problem-rounds — per round, how many
+            problems were still pivoting (occupancy numerator).
+        batch_round_slots: ``rounds * group size`` summed over groups
+            (occupancy denominator).
+        batch_fallbacks: Problems the stacked kernel flagged back to the
+            per-problem scalar/scipy path (numerically nasty stragglers).
     """
 
     solved: int = 0
@@ -36,6 +48,12 @@ class LPStats:
     optimizations: int = 0
     cache_hits: int = 0
     seconds: float = 0.0
+    batch_groups: int = 0
+    batch_solves: int = 0
+    batch_rounds: int = 0
+    batch_active_rounds: int = 0
+    batch_round_slots: int = 0
+    batch_fallbacks: int = 0
     _by_purpose: dict[str, int] = field(default_factory=dict)
     _seconds_by_purpose: dict[str, float] = field(default_factory=dict)
 
@@ -71,6 +89,48 @@ class LPStats:
         """Record a solve answered from the memo cache (no solver work)."""
         self.cache_hits += 1
 
+    def record_batch(self, *, group_size: int, solved: int, rounds: int,
+                     active_rounds: int, fallbacks: int) -> None:
+        """Record one stacked-simplex group execution.
+
+        Args:
+            group_size: Problems stacked into the group.
+            solved: Problems the kernel answered (the rest fell back).
+            rounds: Lockstep pivot rounds the group executed.
+            active_rounds: Problem-rounds actually pivoted (frozen
+                problems stop counting once they finish).
+            fallbacks: Problems flagged for the scalar fallback.
+        """
+        self.batch_groups += 1
+        self.batch_solves += solved
+        self.batch_rounds += rounds
+        self.batch_active_rounds += active_rounds
+        self.batch_round_slots += rounds * group_size
+        self.batch_fallbacks += fallbacks
+
+    def add_seconds(self, purpose: str, seconds: float) -> None:
+        """Charge backend wall time to a purpose without counting a solve.
+
+        Used to attribute a stacked group's shared wall clock to each
+        member's own purpose (the per-group attribution fix): members
+        that fall back get their share of the group time here and their
+        solve is recorded by the scalar re-solve.
+        """
+        self.seconds += seconds
+        self._seconds_by_purpose[purpose] = (
+            self._seconds_by_purpose.get(purpose, 0.0) + seconds)
+
+    def batch_occupancy(self) -> float:
+        """Mean fraction of each stacked group still pivoting per round.
+
+        1.0 means every problem pivoted in every round of its group;
+        lower values mean finished problems froze while stragglers kept
+        going.  0.0 when no stacked group ran.
+        """
+        if self.batch_round_slots == 0:
+            return 0.0
+        return self.batch_active_rounds / self.batch_round_slots
+
     def by_purpose(self) -> dict[str, int]:
         """Return a copy of the per-purpose LP counts."""
         return dict(self._by_purpose)
@@ -88,6 +148,12 @@ class LPStats:
         self.optimizations = 0
         self.cache_hits = 0
         self.seconds = 0.0
+        self.batch_groups = 0
+        self.batch_solves = 0
+        self.batch_rounds = 0
+        self.batch_active_rounds = 0
+        self.batch_round_slots = 0
+        self.batch_fallbacks = 0
         self._by_purpose.clear()
         self._seconds_by_purpose.clear()
 
@@ -100,6 +166,12 @@ class LPStats:
         self.optimizations += other.optimizations
         self.cache_hits += other.cache_hits
         self.seconds += other.seconds
+        self.batch_groups += other.batch_groups
+        self.batch_solves += other.batch_solves
+        self.batch_rounds += other.batch_rounds
+        self.batch_active_rounds += other.batch_active_rounds
+        self.batch_round_slots += other.batch_round_slots
+        self.batch_fallbacks += other.batch_fallbacks
         for key, value in other._by_purpose.items():
             self._by_purpose[key] = self._by_purpose.get(key, 0) + value
         for key, value in other._seconds_by_purpose.items():

@@ -29,6 +29,86 @@ from ..errors import SolverError
 
 _EPS = 1e-9
 
+try:  # pragma: no cover - numpy-version dependent import
+    # The gufunc behind ``np.linalg.solve``.  Calling it directly skips
+    # the wrapper's per-call array/type validation and errstate setup —
+    # a measurable win for the tiny basis systems solved thousands of
+    # times per optimization run — while producing the *same bits* (it
+    # is the very kernel the wrapper invokes).  LAPACK reports a
+    # singular system by filling that solution with NaN (emitting one
+    # cosmetic RuntimeWarning under the default error state), which the
+    # cheap sum-compare below converts into the wrapper's
+    # ``LinAlgError``.
+    from numpy.linalg import _umath_linalg
+
+    # Probe the private gufunc contract once at import so any numpy
+    # relayout (renamed gufunc, changed signature kwargs) lands in the
+    # fallback below instead of crashing the first real solve.
+    if (_umath_linalg.solve1(np.eye(1), np.ones(1), signature="dd->d")
+            != np.ones(1)).any():  # pragma: no cover - contract probe
+        raise ImportError("numpy solve1 gufunc probe failed")
+
+    def _basis_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``np.linalg.solve`` for float64 systems, minus wrapper overhead.
+
+        Accepts the wrapper's stacked forms too: ``(m, m) @ (m,)`` or
+        ``(k, m, m) @ (k, m)`` with one right-hand side per slice.
+        Raises :class:`numpy.linalg.LinAlgError` when any slice is
+        singular, like the wrapper.
+        """
+        try:
+            out = _umath_linalg.solve1(a, b, signature="dd->d")
+        except RuntimeWarning as exc:
+            # Under warnings-promoted-to-errors the gufunc's
+            # invalid-value warning surfaces here before the NaN check
+            # can run; keep the wrapper's contract.
+            raise np.linalg.LinAlgError("Singular matrix") from exc
+        total = out.sum()
+        if total != total:  # NaN marks a singular (or poisoned) slice
+            raise np.linalg.LinAlgError("Singular matrix")
+        return out
+
+    def _basis_solve_masked(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Stacked solve returning NaN-filled rows for singular slices.
+
+        Unlike :func:`_basis_solve` this never raises: LAPACK solves
+        every slice independently (good slices keep their exact
+        :func:`np.linalg.solve` bits even when a sibling is singular),
+        so callers can mask out the NaN rows and keep going — the
+        stacked simplex kernel flags exactly those problems for its
+        scalar fallback.  When warnings are promoted to errors the
+        gufunc's invalid-value warning aborts the whole stack, so the
+        rare singular round re-solves per slice through the public
+        wrapper (identical bits) instead.
+        """
+        try:
+            return _umath_linalg.solve1(a, b, signature="dd->d")
+        except RuntimeWarning:  # warnings-as-errors consumers
+            out = np.full_like(b, np.nan)
+            for i in range(a.shape[0]):
+                try:
+                    out[i] = np.linalg.solve(a[i], b[i])
+                except np.linalg.LinAlgError:
+                    pass
+            return out
+except (ImportError, AttributeError, TypeError):  # pragma: no cover
+    # Exercised on numpy relayouts (module, gufunc or kwargs gone).
+    def _basis_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Fallback via the public wrapper (identical bits, more overhead)."""
+        if a.ndim == 2:
+            return np.linalg.solve(a, b)
+        return np.linalg.solve(a, b[..., None])[..., 0]
+
+    def _basis_solve_masked(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Fallback stacked solve: per-slice wrapper calls, NaN on singular."""
+        out = np.full_like(b, np.nan)
+        for i in range(a.shape[0]):
+            try:
+                out[i] = np.linalg.solve(a[i], b[i])
+            except np.linalg.LinAlgError:
+                pass
+        return out
+
 
 @dataclass(frozen=True)
 class SimplexResult:
@@ -58,6 +138,28 @@ def _to_standard_form(c, a_ub, b_ub, bounds):
     ``recover`` maps a standard-form solution back to the original space.
     """
     n = len(c)
+    if all(lo is None and hi is None for lo, hi in bounds):
+        # Fast path for the dominant geometry workload: every variable
+        # free.  Vectorizes the generic loop below for that case only —
+        # same interleaved ``x+ / x-`` column layout, same arithmetic
+        # (including the zero-shift subtraction), identical bits.
+        c_arr = np.asarray(c, dtype=float)
+        a_all = a_ub if a_ub is not None else np.zeros((0, n))
+        b_all = b_ub if b_ub is not None else np.zeros(0)
+        a_std = np.empty((a_all.shape[0], 2 * n))
+        a_std[:, 0::2] = a_all
+        a_std[:, 1::2] = -a_all
+        c_std = np.empty(2 * n)
+        c_std[0::2] = c_arr
+        c_std[1::2] = -c_arr
+        shift = np.zeros(n)
+        b_shifted = b_all - a_all @ shift
+
+        def recover(x_std: np.ndarray) -> np.ndarray:
+            return (shift + x_std[0::2]) - x_std[1::2]
+
+        return c_std, a_std, b_shifted, recover, float(c_arr @ shift)
+
     columns = []  # (index, sign) pairs describing original-variable parts
     shift = np.zeros(n)
     for j in range(n):
@@ -122,23 +224,24 @@ def _simplex_core(c, a, b):
     """
     num_rows, num_cols = a.shape
     # Make right-hand sides non-negative by multiplying rows by -1 and
-    # introducing artificial variables where needed.
-    tableau_a = np.hstack([a, np.eye(num_rows)])
+    # introducing artificial variables where needed.  Assembled in one
+    # pass (same layout and bits as growing the tableau row by row:
+    # artificial columns appear in row order after the slack block).
     rhs = b.astype(float).copy()
+    negative = rhs < -_EPS
+    art_rows = np.flatnonzero(negative)
+    total_cols = num_cols + num_rows + art_rows.size
+    tableau_a = np.zeros((num_rows, total_cols))
+    tableau_a[:, :num_cols] = a
+    tableau_a[:, num_cols:num_cols + num_rows] = np.eye(num_rows)
+    tableau_a[negative] *= -1.0
+    rhs[negative] *= -1.0
+    art_cols = num_cols + num_rows + np.arange(art_rows.size)
+    tableau_a[art_rows, art_cols] = 1.0
     basis = list(range(num_cols, num_cols + num_rows))
-    artificial = []
-    for i in range(num_rows):
-        if rhs[i] < -_EPS:
-            tableau_a[i, :] *= -1.0
-            rhs[i] *= -1.0
-            # The slack column now has coefficient -1; add an artificial.
-            art_col = np.zeros((num_rows, 1))
-            art_col[i, 0] = 1.0
-            tableau_a = np.hstack([tableau_a, art_col])
-            basis[i] = tableau_a.shape[1] - 1
-            artificial.append(basis[i])
-
-    total_cols = tableau_a.shape[1]
+    for row, col in zip(art_rows, art_cols):
+        basis[row] = int(col)
+    artificial = [int(col) for col in art_cols]
 
     def run_phase(cost_row):
         """Run the simplex iterations in place; returns False on unbounded."""
@@ -146,9 +249,9 @@ def _simplex_core(c, a, b):
         for _ in range(max_iters):
             # Reduced costs.
             cb = cost_row[basis]
+            basis_matrix = tableau_a[:, basis]
             try:
-                y = np.linalg.solve(
-                    tableau_a[:, basis].T, cb)  # dual estimate
+                y = _basis_solve(basis_matrix.T, cb)  # dual estimate
             except np.linalg.LinAlgError as exc:
                 raise SolverError("singular basis in simplex") from exc
             reduced = cost_row - y @ tableau_a
@@ -162,9 +265,9 @@ def _simplex_core(c, a, b):
             if entering < 0:
                 return True
             try:
-                basis_matrix_inv_col = np.linalg.solve(
-                    tableau_a[:, basis], tableau_a[:, entering])
-                xb = np.linalg.solve(tableau_a[:, basis], rhs)
+                basis_matrix_inv_col = _basis_solve(
+                    basis_matrix, tableau_a[:, entering])
+                xb = _basis_solve(basis_matrix, rhs)
             except np.linalg.LinAlgError as exc:  # pragma: no cover
                 raise SolverError("singular basis in simplex") from exc
             ratios = []
@@ -190,7 +293,7 @@ def _simplex_core(c, a, b):
         if not bounded:
             raise SolverError("phase-1 LP unbounded (should be impossible)")
         try:
-            xb = np.linalg.solve(tableau_a[:, basis], rhs)
+            xb = _basis_solve(tableau_a[:, basis], rhs)
         except np.linalg.LinAlgError as exc:
             raise SolverError("singular basis after phase 1") from exc
         value = float(phase1_cost[basis] @ xb)
@@ -208,7 +311,7 @@ def _simplex_core(c, a, b):
     if not bounded:
         return "unbounded", None
     try:
-        xb = np.linalg.solve(tableau_a[:, basis], rhs)
+        xb = _basis_solve(tableau_a[:, basis], rhs)
     except np.linalg.LinAlgError as exc:
         raise SolverError("singular final basis") from exc
     x_full = np.zeros(total_cols)

@@ -16,6 +16,7 @@ Two backends are available:
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from dataclasses import dataclass
@@ -24,7 +25,8 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import SolverError
-from ..util import BoundedLRU
+from ..util import BoundedLRU, scalar_kernels_enabled
+from .batch_simplex import is_stackable, solve_simplex_batch, standard_form
 from .counters import LPStats, default_stats
 from .simplex import solve_simplex
 
@@ -34,6 +36,14 @@ try:  # pragma: no cover - exercised implicitly on import
 except ImportError:  # pragma: no cover
     _scipy_linprog = None
     _HAVE_SCIPY = False
+
+#: Smallest same-shape miss group routed through the stacked simplex.
+#: Below this size the lockstep kernel's per-round NumPy dispatch
+#: overhead outweighs what it amortizes over the batch (measured
+#: crossover ~8 on this workload's tiny LPs; see
+#: ``benchmarks/bench_lp_kernels.py``), so smaller groups keep the
+#: per-problem scalar path.
+MIN_STACK_GROUP = 8
 
 
 @dataclass(frozen=True)
@@ -281,45 +291,183 @@ class LinearProgramSolver:
         return result
 
     def solve_many(self, problems: Sequence[tuple], *,
-                   purpose: str = "generic") -> list[LPResult]:
+                   purpose: str | Sequence[str] = "generic"
+                   ) -> list[LPResult]:
         """Solve a batch of independent LPs.
 
         The batched entry point of the geometry kernels.  Semantically
         (results *and* accounting) it equals calling :meth:`solve` per
         problem: every backend solve is recorded, every memoized answer
-        is a cache hit.  What the batch form buys today is memo-backed
-        deduplication — results solved earlier in the same batch answer
-        later duplicates, and the dominant emptiness-check workload of
-        relevance-region maintenance repeats many identical tiny LPs —
-        plus a single seam where a genuinely vectorized backend (stacked
-        simplex tableaus) can slot in later; the per-problem backend
-        pivots still run one LP at a time (see ROADMAP).
+        is a cache hit, and answers are bit-identical to the per-problem
+        path.  The batch form buys two things: memo-backed deduplication
+        (results solved earlier in the same batch answer later
+        duplicates) and — for the ``simplex``/``hybrid`` backends — the
+        stacked-tableau kernel of :mod:`repro.lp.batch_simplex`, which
+        groups the post-dedupe miss set by canonical standard-form shape
+        and pivots each group in lockstep NumPy rounds instead of one LP
+        at a time.  Stragglers the kernel flags (singular bases,
+        iteration overflow) fall back to the per-problem path, so
+        results match today's answers exactly.  ``REPRO_SCALAR_KERNELS=1``
+        disables the stacked kernel entirely.
 
         Args:
             problems: Sequence of ``(c, a_ub, b_ub, bounds)`` tuples, each
                 accepted exactly as by :meth:`solve`.
-            purpose: Tag recorded in the LP statistics for every solve.
+            purpose: Tag recorded in the LP statistics — one string for
+                the whole batch, or one per problem.  Per-problem tags
+                keep the per-purpose wall-time attribution exact when one
+                stacked shape group spans several purposes: each member
+                is charged its own share of the group's wall clock.
 
         Returns:
             One :class:`LPResult` per problem, in input order.
         """
-        results: list[LPResult] = []
-        for c, a_ub, b_ub, bounds in problems:
-            c, a_ub, b_ub, bounds = self._prepare(c, a_ub, b_ub, bounds)
-            key = None
+        count = len(problems)
+        if isinstance(purpose, str):
+            purposes = [purpose] * count
+        else:
+            purposes = [str(tag) for tag in purpose]
+            if len(purposes) != count:
+                raise SolverError(
+                    "one purpose per problem required "
+                    f"({len(purposes)} purposes for {count} problems)")
+        results: list[LPResult | None] = [None] * count
+        prepared: list[tuple] = [None] * count
+        keys: list[tuple | None] = [None] * count
+        misses: list[int] = []
+        pending: dict[tuple, int] = {}
+        duplicates: list[int] = []
+        for index, problem in enumerate(problems):
+            prepared[index] = self._prepare(*problem)
             if self.cache is not None:
-                key = LPResultCache.make_key(c, a_ub, b_ub, bounds)
+                key = LPResultCache.make_key(*prepared[index])
+                keys[index] = key
                 cached = self.cache.get(key)
                 if cached is not None:
                     self.stats.record_cache_hit()
-                    results.append(cached)
+                    results[index] = cached
                     continue
-            result = self._solve_prepared(c, a_ub, b_ub, bounds,
-                                          purpose=purpose)
-            if key is not None:
-                self.cache.put(key, result)
-            results.append(result)
+                if key in pending:
+                    # The sequential path would have solved the earlier
+                    # twin before reaching this lookup, making this a
+                    # memo hit — preserve that accounting exactly.
+                    duplicates.append(index)
+                    continue
+                pending[key] = index
+            misses.append(index)
+        remaining = misses
+        if (len(misses) >= MIN_STACK_GROUP
+                and self.backend in ("simplex", "hybrid")
+                and not scalar_kernels_enabled()):
+            remaining = self._solve_misses_stacked(
+                misses, prepared, keys, purposes, results)
+        for index in remaining:
+            result = self._solve_prepared(*prepared[index],
+                                          purpose=purposes[index])
+            if keys[index] is not None:
+                self.cache.put(keys[index], result)
+            results[index] = result
+        for index in duplicates:
+            cached = self.cache.get(keys[index])
+            if cached is None:  # pragma: no cover - evicted in between
+                cached = self._solve_prepared(*prepared[index],
+                                              purpose=purposes[index])
+                self.cache.put(keys[index], cached)
+            else:
+                self.stats.record_cache_hit()
+            results[index] = cached
         return results
+
+    def _solve_misses_stacked(self, misses: list[int], prepared: list,
+                              keys: list, purposes: list[str],
+                              results: list) -> list[int]:
+        """Route same-shape miss groups through the stacked kernel.
+
+        Groups the miss set by canonical shape and runs every group of
+        :data:`MIN_STACK_GROUP` or more through
+        :func:`repro.lp.batch_simplex.solve_simplex_batch`, recording
+        each answered problem exactly as the per-problem path would
+        (same ``solved``/purpose counters; the group's wall clock is
+        split over members proportionally to the pivot rounds each was
+        active, attributed to each member's own purpose).  Returns the
+        indices still unsolved — members of too-small groups,
+        unstackable shapes and flagged stragglers — for the per-problem
+        path.  Grouping happens in two stages so small groups never pay
+        a standard-form conversion they cannot use: a conversion-free
+        pre-key ``(n_vars, n_constraints, bounds pattern)`` first, then
+        the exact stacking signature (which additionally splits by
+        artificial-column count) within large-enough pre-groups; the
+        conversion time of members that still end up unstacked is
+        charged to their purpose as plain wall time.
+        """
+        pregroups: dict[tuple, list[int]] = {}
+        leftover: list[int] = []
+        for index in misses:
+            c, a_ub, __, bounds = prepared[index]
+            pattern = tuple(
+                (lo is not None and math.isfinite(lo),
+                 hi is not None and math.isfinite(hi))
+                for lo, hi in bounds)
+            key = (c.shape[0],
+                   a_ub.shape[0] if a_ub is not None else 0, pattern)
+            pregroups.setdefault(key, []).append(index)
+        forms: dict[int, object] = {}
+        groups: dict[tuple, list[int]] = {}
+        for premembers in pregroups.values():
+            if len(premembers) < MIN_STACK_GROUP:
+                leftover.extend(premembers)
+                continue
+            for index in premembers:
+                form = standard_form(*prepared[index])
+                if not is_stackable(form.signature):
+                    self.stats.add_seconds(purposes[index], form.seconds)
+                    leftover.append(index)
+                    continue
+                forms[index] = form
+                groups.setdefault(form.signature, []).append(index)
+        for members in groups.values():
+            if len(members) < MIN_STACK_GROUP:
+                for index in members:
+                    # The conversion could not be used; its wall time
+                    # was still spent on this purpose.
+                    self.stats.add_seconds(purposes[index],
+                                           forms[index].seconds)
+                leftover.extend(members)
+                continue
+            report = solve_simplex_batch([forms[i] for i in members])
+            solved = [(i, res) for i, res in zip(members, report.results)
+                      if res is not None]
+            fallbacks = [i for i, res in zip(members, report.results)
+                         if res is None]
+            self.stats.record_batch(
+                group_size=len(members), solved=len(solved),
+                rounds=report.rounds,
+                active_rounds=report.active_rounds,
+                fallbacks=len(fallbacks))
+            total_rounds = max(int(report.problem_rounds.sum()), 1)
+            for position, index in enumerate(members):
+                share = (report.seconds * int(report.problem_rounds[
+                    position]) / total_rounds) + forms[index].seconds
+                res = report.results[position]
+                if res is None:
+                    # The straggler's solve is recorded by the scalar
+                    # re-solve; charge only its share of the group time.
+                    self.stats.add_seconds(purposes[index], share)
+                    continue
+                c = prepared[index][0]
+                self.stats.record(
+                    purpose=purposes[index],
+                    feasible=res.status != "infeasible",
+                    bounded=res.status != "unbounded",
+                    objective=bool(np.any(c != 0.0)),
+                    seconds=share)
+                result = LPResult(res.status, res.x, res.objective)
+                if keys[index] is not None:
+                    self.cache.put(keys[index], result)
+                results[index] = result
+            leftover.extend(fallbacks)
+        leftover.sort()
+        return leftover
 
     def _prepare(self, c, a_ub, b_ub, bounds) -> tuple:
         """Normalize one LP's inputs to canonical arrays (shared by

@@ -89,6 +89,42 @@ class TestBackendAgreement:
             assert res.is_infeasible
 
 
+class TestBasisSolve:
+    """The fast basis-solve substrate mirrors np.linalg.solve's contract."""
+
+    def test_matches_wrapper_bitwise(self):
+        from repro.lp.simplex import _basis_solve
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(9, 9))
+        b = rng.normal(size=9)
+        assert (_basis_solve(a, b) == np.linalg.solve(a, b)).all()
+
+    @pytest.mark.parametrize("action", ["error", "ignore"])
+    def test_singular_raises_linalgerror(self, action):
+        # Under warnings-promoted-to-errors (common downstream) the
+        # gufunc's invalid-value warning must still surface as the
+        # wrapper's LinAlgError so the hybrid scipy fallback engages.
+        import warnings
+        from repro.lp.simplex import _basis_solve
+        with warnings.catch_warnings():
+            warnings.simplefilter(action)
+            with pytest.raises(np.linalg.LinAlgError):
+                _basis_solve(np.zeros((2, 2)), np.ones(2))
+
+    def test_masked_stack_isolates_singular_slice(self):
+        import warnings
+        from repro.lp.simplex import _basis_solve_masked
+        mats = np.stack([np.eye(2), np.zeros((2, 2)), 2 * np.eye(2)])
+        vecs = np.ones((3, 2))
+        for action in ("error", "ignore"):
+            with warnings.catch_warnings():
+                warnings.simplefilter(action)
+                out = _basis_solve_masked(mats, vecs)
+            assert (out[0] == np.ones(2)).all()
+            assert np.isnan(out[1]).all()
+            assert (out[2] == 0.5 * np.ones(2)).all()
+
+
 class TestLinearProgramSolver:
     def test_counts_recorded(self):
         stats = LPStats()
