@@ -175,9 +175,21 @@ def _lp_kernel_metrics(path: str) -> dict[str, dict]:
     finished problems stop freezing, and any fallback means the kernel
     stopped handling its own workload.  Timings/speedups are
     informational.
+
+    The same artifact carries the deferred-queue smoke probe
+    (``"lp_queue"``): per-point queue counters plus the headline
+    ``lp.median_stacked_group_size`` — the LP-weighted median size of
+    the groups the stacked kernel executed, merged over the probe's
+    workload points.  That metric carries an absolute ``floor`` of 8
+    (the stacking crossover, ``repro.lp.solver.MIN_STACK_GROUP``):
+    besides the usual relative-regression check, the compare fails
+    whenever the current value sinks below the floor, however the
+    baseline moves — the metric is 0.0 when the kernel never engages,
+    so a queue that stops feeding the kernel fails loudly.
     """
+    doc = _load(path)
     metrics: dict[str, dict] = {}
-    for point in _load(path).get("lp_kernels", []):
+    for point in doc.get("lp_kernels", []):
         tag = (f"lpkernels.{point['n_vars']}x{point['n_constraints']}"
                f".b{point['batch']}")
         metrics[f"{tag}.rounds"] = {
@@ -192,6 +204,44 @@ def _lp_kernel_metrics(path: str) -> dict[str, dict]:
         metrics[f"{tag}.speedup"] = {
             "value": point["speedup"], "direction": "higher",
             "tolerance": DEFAULT_TOLERANCE, "gate": False}
+    queue = doc.get("lp_queue")
+    if queue:
+        for point in queue.get("points", []):
+            tag = (f"lpqueue.{point['shape']}"
+                   f".t{point['num_tables']}p{point['num_params']}")
+            metrics[f"{tag}.lps_solved"] = {
+                "value": point["lps_solved"], "direction": "lower",
+                "tolerance": DEFAULT_TOLERANCE, "gate": True}
+            # Deterministic queue counters: enqueued and batch_solves
+            # shrinking means the deferred path (or the stacked kernel
+            # behind it) is silently disengaging.
+            metrics[f"{tag}.queue_enqueued"] = {
+                "value": point["queue_enqueued"], "direction": "higher",
+                "tolerance": DEFAULT_TOLERANCE, "gate": True}
+            metrics[f"{tag}.batch_solves"] = {
+                "value": point["batch_solves"], "direction": "higher",
+                "tolerance": DEFAULT_TOLERANCE, "gate": True}
+            metrics[f"{tag}.median_stacked_group_size"] = {
+                "value": point["median_stacked_group_size"],
+                "direction": "higher", "tolerance": DEFAULT_TOLERANCE,
+                "gate": True}
+            # Flush-cause mix is descriptive (legitimate restructurings
+            # move flushes between causes), so tracked but ungated.
+            for cause in ("flush_size", "flush_demand",
+                          "flush_explicit"):
+                metrics[f"{tag}.{cause}"] = {
+                    "value": point[cause], "direction": "lower",
+                    "tolerance": DEFAULT_TOLERANCE, "gate": False}
+            metrics[f"{tag}.emptiness_lp_seconds"] = {
+                "value": point["emptiness_lp_seconds"],
+                "direction": "lower", "tolerance": DEFAULT_TOLERANCE,
+                "gate": False}
+        # The headline gate: floor 8 == repro.lp.solver.MIN_STACK_GROUP
+        # (the stacking crossover).
+        metrics["lp.median_stacked_group_size"] = {
+            "value": queue["median_stacked_group_size"],
+            "direction": "higher", "tolerance": DEFAULT_TOLERANCE,
+            "gate": True, "floor": 8.0}
     return metrics
 
 
@@ -266,10 +316,17 @@ def run_compare(args) -> int:
         regression = _regression(spec, now)
         gated = spec.get("gate", False)
         tolerance = spec.get("tolerance", DEFAULT_TOLERANCE)
+        floor = spec.get("floor")
         status = "ok"
         if regression > tolerance:
             status = "REGRESSED" if gated else "regressed (ungated)"
             if gated:
+                failures.append((name, spec["value"], now, regression))
+        if floor is not None and now < floor:
+            # Absolute minimum, independent of the baseline value: even
+            # a within-tolerance drift must not sink below the floor.
+            status = f"BELOW FLOOR {floor:g}"
+            if gated and not any(f[0] == name for f in failures):
                 failures.append((name, spec["value"], now, regression))
         rows.append((name, spec["value"], now, status))
     width = max(len(name) for name, *_ in rows)
@@ -282,9 +339,14 @@ def run_compare(args) -> int:
         print(f"\n{len(failures)} gated metric(s) regressed beyond "
               f"tolerance:", file=sys.stderr)
         for name, base_value, now, regression in failures:
+            floor = baseline.get(name, {}).get("floor")
             if now != now:  # NaN marks a gated metric gone missing
                 print(f"  {name}: {base_value:.4g} -> missing from the "
                       f"current artifacts", file=sys.stderr)
+            elif floor is not None and now < floor:
+                print(f"  {name}: {now:.4g} below the absolute floor "
+                      f"{floor:g} (baseline {base_value:.4g})",
+                      file=sys.stderr)
             else:
                 print(f"  {name}: {base_value:.4g} -> {now:.4g} "
                       f"(+{regression:.0%})", file=sys.stderr)

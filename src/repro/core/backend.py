@@ -93,5 +93,16 @@ class RRPABackend(ABC):
     def region_is_empty(self, region: Any) -> bool:
         """Decide whether a relevance region became empty."""
 
+    def regions_empty_many(self, regions: Sequence[Any]) -> list[bool]:
+        """:meth:`region_is_empty` for a batch of independent regions.
+
+        The default delegates to the per-region check; backends whose
+        emptiness tests bottom out in LPs (see :class:`repro.core
+        .pwl_backend.PWLBackend`) override this to drive the checks in
+        lockstep so their LPs batch.  Results — and any stats the
+        per-region check records — must equal the sequential loop's.
+        """
+        return [self.region_is_empty(region) for region in regions]
+
     def on_run_start(self) -> None:
         """Hook invoked once per optimization run (cache resets etc.)."""

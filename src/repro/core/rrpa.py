@@ -135,13 +135,19 @@ def prune_into(backend: RRPABackend, entries: list[PlanEntry],
                 stats.plans_discarded_new += 1
                 return
     # The new plan is relevant somewhere: displace dominated incumbents.
+    # Reductions are LP-free (they only record cutouts), so apply them
+    # all first and then decide every incumbent's emptiness in one
+    # lockstep pass — each region's check is an independent LP chain,
+    # which is exactly the shape the deferred queue batches across.
     survivors = []
     dom_lists = backend.dominance_many_rev(
         new_cost, [old.cost for old in entries])
     for old, dominated in zip(entries, dom_lists):
         stats.pruning_comparisons += 1
         backend.reduce_region(old.region, dominated)
-        if backend.region_is_empty(old.region):
+    empties = backend.regions_empty_many([old.region for old in entries])
+    for old, empty in zip(entries, empties):
+        if empty:
             stats.plans_displaced_old += 1
         else:
             survivors.append(old)

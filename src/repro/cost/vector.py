@@ -28,7 +28,7 @@ import numpy as np
 
 from ..errors import DimensionMismatchError
 from ..geometry import (GEOMETRY_EPS, ConvexPolytope, LinearConstraint,
-                        emptiness_many)
+                        emptiness_many, emptiness_many_deferred)
 from ..lp import LinearProgramSolver
 from ..util import scalar_kernels_enabled
 from .linear import LinearPiece
@@ -227,7 +227,9 @@ class MultiObjectivePWL:
         names = self.metric_names
         factor = 1.0 + relax
         first = self.components[names[0]]
-        polys: list[ConvexPolytope] = []
+        batch_lps = not scalar_kernels_enabled()
+        polys: list[ConvexPolytope | None] = []
+        undecided: list[ConvexPolytope] = []
         for idx in range(len(first.pieces)):
             region = first.pieces[idx].region
             verts = region.vertex_hint
@@ -265,8 +267,26 @@ class MultiObjectivePWL:
                 # The cell centroid satisfies all constraints: non-empty
                 # without an LP.
                 polys.append(candidate)
+            elif batch_lps:
+                # Genuinely mixed cell: hold its slot, decide all the
+                # mixed cells' emptiness LPs in one deferred pass below.
+                polys.append(None)
+                undecided.append(candidate)
             elif not candidate.is_empty(solver):
                 polys.append(candidate)
+        if undecided:
+            empty = [lazy.get() for lazy in
+                     emptiness_many_deferred(undecided, solver)]
+            decided = iter(zip(undecided, empty))
+            resolved: list[ConvexPolytope] = []
+            for entry in polys:
+                if entry is not None:
+                    resolved.append(entry)
+                    continue
+                candidate, is_empty = next(decided)
+                if not is_empty:
+                    resolved.append(candidate)
+            return resolved
         return polys
 
     def _dominance_general(self, other: "MultiObjectivePWL",
@@ -517,9 +537,10 @@ def batch_dominance_aligned(many: Sequence[MultiObjectivePWL],
     needs_work = ~cell_infeasible & ~cell_whole
 
     names = one.metric_names
-    results: list[list[ConvexPolytope]] = []
+    results: list[list[ConvexPolytope | None]] = []
+    undecided: list[ConvexPolytope] = []
     for k in range(len(many)):
-        polys: list[ConvexPolytope] = []
+        polys: list[ConvexPolytope | None] = []
         for idx in range(len(pieces)):
             if cell_infeasible[k, idx]:
                 continue
@@ -538,7 +559,27 @@ def batch_dominance_aligned(many: Sequence[MultiObjectivePWL],
                                               diff_b[k, m, idx]))
                 if candidate.contains_point(verts[idx].mean(axis=0)):
                     polys.append(candidate)
-                elif not candidate.is_empty(solver):
-                    polys.append(candidate)
+                else:
+                    # Rare mixed cell: hold its slot and decide every
+                    # batch member's leftover emptiness LPs in one
+                    # deferred pass below.
+                    polys.append(None)
+                    undecided.append(candidate)
         results.append(polys)
+    if undecided:
+        empty = [lazy.get() for lazy in
+                 emptiness_many_deferred(undecided, solver)]
+        decided = iter(zip(undecided, empty))
+        resolved_results: list[list[ConvexPolytope]] = []
+        for polys in results:
+            resolved: list[ConvexPolytope] = []
+            for entry in polys:
+                if entry is not None:
+                    resolved.append(entry)
+                    continue
+                candidate, is_empty = next(decided)
+                if not is_empty:
+                    resolved.append(candidate)
+            resolved_results.append(resolved)
+        return resolved_results
     return results

@@ -1,0 +1,288 @@
+"""Deferred-flush LP futures: accumulate LPs, flush them in stacked batches.
+
+PR 5's stacked-tableau simplex (:mod:`repro.lp.batch_simplex`) pivots a
+same-shape group of LPs in lockstep NumPy rounds and is ~4x faster per LP
+at batch 64 — but it only engages on miss groups of
+:data:`repro.lp.solver.MIN_STACK_GROUP` or more, and the eager call sites
+mostly hand it groups of one or two because region maintenance issues its
+emptiness checks cut-by-cut.  This module closes that gap: call sites
+*enqueue* LPs into a per-solver :class:`DeferredLPQueue` and receive an
+:class:`LPFuture` instead of a result.  The queue buckets pending LPs by
+conversion-free stacking pre-key (:func:`repro.lp.solver.stack_prekey`)
+and flushes
+
+* a single bucket, when it reaches :data:`QUEUE_FLUSH_SIZE` — several
+  stacking crossovers wide — (``"size"``): the productive case, a group
+  the stacked kernel amortizes well over;
+* everything pending, when any future's :meth:`LPFuture.result` is
+  demanded (``"demand"``) — control flow needs an answer *now*, and
+  holding the rest back would only shrink the very next flush;
+* everything pending, on an explicit :meth:`DeferredLPQueue.flush`
+  (``"explicit"``) — end-of-scope drains.
+
+Every flush is one :meth:`LinearProgramSolver.solve_many` call in enqueue
+order, so memo/dedupe accounting, per-purpose wall-time attribution and
+bit-identity to the eager path all come for free — the queue changes
+*when* LPs reach the solver, never *how* they are solved or counted.
+
+Results propagate two ways: :meth:`LPFuture.result` for callers that
+demand, and per-future ``on_resolve`` callbacks fired at flush time for
+side effects that must not wait for a demand (the geometry helpers use
+these to fill polytope emptiness/Chebyshev caches the moment the answer
+exists, so an unrelated eager ``is_empty`` later sees the cache exactly
+as it would have under eager dispatch).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+from ..errors import SolverError
+from .solver import MIN_STACK_GROUP, LinearProgramSolver, LPResult, \
+    stack_prekey
+
+#: Bucket size at which the queue flushes a stacking group on its own
+#: (the ``"size"`` cause).  Several crossovers wide on purpose: a demand
+#: can interrupt a bucket at any moment, and a bucket interrupted
+#: anywhere above :data:`~repro.lp.solver.MIN_STACK_GROUP` still stacks —
+#: so waiting costs nothing (flushing is pure reordering) while every
+#: extra member widens the lockstep batch the kernel amortizes over.
+QUEUE_FLUSH_SIZE = 4 * MIN_STACK_GROUP
+
+
+class LPFuture:
+    """Handle for one enqueued LP, resolved when its queue flushes.
+
+    Attributes:
+        purpose: The LP-statistics tag the solve will be recorded under.
+        prekey: The stacking pre-key bucketing this LP in its queue.
+    """
+
+    __slots__ = ("purpose", "prekey", "_queue", "_result", "_resolved",
+                 "_callback")
+
+    def __init__(self, queue: "DeferredLPQueue", purpose: str,
+                 prekey: tuple,
+                 callback: Callable[[LPResult], None] | None) -> None:
+        self.purpose = purpose
+        self.prekey = prekey
+        self._queue = queue
+        self._result: LPResult | None = None
+        self._resolved = False
+        self._callback = callback
+
+    def done(self) -> bool:
+        """Whether the LP has been solved (no flush is triggered)."""
+        return self._resolved
+
+    def result(self) -> LPResult:
+        """The LP's result, flushing its stacking group if necessary.
+
+        Demanding an unresolved future flushes the future's *whole
+        pre-key group* — everything that could have stacked with it —
+        but leaves other groups pending so they keep accumulating
+        toward the crossover instead of being drained early at whatever
+        size they happen to have.
+        """
+        if not self._resolved:
+            self._queue.flush_group(self.prekey, cause="demand")
+        if not self._resolved:  # pragma: no cover - internal invariant
+            raise SolverError("LP future unresolved after queue flush")
+        return self._result
+
+    def _resolve(self, result: LPResult) -> None:
+        """Install the result and fire the ``on_resolve`` callback."""
+        self._result = result
+        self._resolved = True
+        if self._callback is not None:
+            callback, self._callback = self._callback, None
+            callback(result)
+
+
+class LazyValue:
+    """A value that is either already known or derived from an LP future.
+
+    The deferred geometry helpers answer some inputs without any LP
+    (trivially infeasible polytopes, cached answers, constraint-free
+    spaces); wrapping both those constants and the genuinely deferred
+    answers in one type lets callers treat a whole batch uniformly:
+    enqueue everything, then ``get()`` at the decision point.
+    """
+
+    __slots__ = ("_value", "_future", "_reader")
+
+    def __init__(self, value: Any = None, *, future: LPFuture | None = None,
+                 reader: Callable[[LPResult], Any] | None = None) -> None:
+        if future is None:
+            self._value = value
+            self._future = None
+            self._reader = None
+        else:
+            self._value = None
+            self._future = future
+            self._reader = reader
+
+    @classmethod
+    def resolved(cls, value: Any) -> "LazyValue":
+        """A lazy value already holding its answer (no LP behind it)."""
+        return cls(value)
+
+    @classmethod
+    def deferred(cls, future: LPFuture,
+                 reader: Callable[[LPResult], Any]) -> "LazyValue":
+        """A lazy value computed by ``reader`` from ``future``'s result."""
+        return cls(future=future, reader=reader)
+
+    def ready(self) -> bool:
+        """Whether :meth:`get` will return without triggering a flush."""
+        return self._future is None or self._future.done()
+
+    def get(self) -> Any:
+        """The value, demanding (and caching) the LP result if needed."""
+        if self._future is not None:
+            self._value = self._reader(self._future.result())
+            self._future = None
+            self._reader = None
+        return self._value
+
+    def map(self, fn: Callable[[Any], Any]) -> "LazyValue":
+        """A lazy value applying ``fn`` to this one's eventual value.
+
+        Shares the underlying future (no extra LP); a resolved input
+        maps immediately.
+        """
+        if self._future is None:
+            return LazyValue.resolved(fn(self._value))
+        reader = self._reader
+        return LazyValue.deferred(self._future,
+                                  lambda result: fn(reader(result)))
+
+
+class DeferredLPQueue:
+    """Accumulates LPs for one solver and flushes them in stacked batches.
+
+    Obtained via :meth:`LinearProgramSolver.deferred_queue` — one queue
+    per solver, shared by every deferred call site, so LPs born in
+    different regions and helpers accumulate into common stacking
+    buckets.
+
+    The queue also keeps a ``notes`` side table for call sites that need
+    cross-call instance deduplication (the geometry helpers key it by
+    ``("empty", id(polytope))`` and the like): when the same polytope is
+    enqueued again while its first LP is still pending, the helper finds
+    the earlier future in the notes and reuses it — zero extra LPs and
+    zero extra cache hits, exactly matching the eager path where the
+    first call would already have filled the polytope's own cache.
+    Resolved entries are purged at flush so the table only ever holds
+    pending work.
+
+    Args:
+        solver: The solver flushes are dispatched to (its stats instance
+            also receives the queue counters).
+    """
+
+    def __init__(self, solver: LinearProgramSolver) -> None:
+        self.solver = solver
+        #: Pending entries in enqueue order:
+        #: ``(prekey, prepared problem, future)``.
+        self._pending: list[tuple] = []
+        #: Pending count per stacking pre-key (size-trigger bookkeeping).
+        self._bucket_counts: dict[tuple, int] = {}
+        #: Cross-call instance-dedupe side table; see class docstring.
+        self.notes: dict[Hashable, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def enqueue(self, c, a_ub=None, b_ub=None, bounds=None, *,
+                purpose: str = "generic",
+                on_resolve: Callable[[LPResult], None] | None = None
+                ) -> LPFuture:
+        """Enqueue ``min c@x  s.t.  a_ub@x <= b_ub`` for a later flush.
+
+        Accepts exactly what :meth:`LinearProgramSolver.solve` accepts.
+        When this LP's stacking bucket reaches :data:`QUEUE_FLUSH_SIZE`,
+        that bucket (only) is flushed immediately with cause ``"size"``
+        — wide enough that the stacked kernel's per-round dispatch
+        overhead is well amortized, while demands interrupting earlier
+        still find a stackable group most of the time.
+
+        Args:
+            c: Objective coefficient vector.
+            a_ub: Inequality constraint matrix (may be ``None`` / empty).
+            b_ub: Inequality right-hand side vector.
+            bounds: Per-variable ``(lo, hi)`` bounds; ``None`` means free.
+            purpose: Tag recorded in the LP statistics at flush time.
+            on_resolve: Callback fired with the :class:`LPResult` when
+                the LP is solved (at flush, not at demand).
+
+        Returns:
+            An :class:`LPFuture` for the eventual result.
+        """
+        prepared = self.solver._prepare(c, a_ub, b_ub, bounds)
+        prekey = stack_prekey(prepared[0], prepared[1], prepared[3])
+        future = LPFuture(self, purpose, prekey, on_resolve)
+        self._pending.append((prekey, prepared, future))
+        self._bucket_counts[prekey] = self._bucket_counts.get(prekey, 0) + 1
+        self.solver.stats.record_queue_enqueued()
+        if self._bucket_counts[prekey] >= QUEUE_FLUSH_SIZE:
+            self.flush_group(prekey, cause="size")
+        return future
+
+    def flush(self, cause: str = "explicit") -> None:
+        """Flush every pending LP as one ``solve_many`` batch.
+
+        A no-op (recording nothing) when the queue is empty, so demand
+        loops over already-resolved futures stay silent in the counters.
+
+        Args:
+            cause: ``"demand"`` or ``"explicit"`` — recorded in the
+                queue-flush counters.
+        """
+        if not self._pending:
+            return
+        entries = self._pending
+        self._pending = []
+        self._bucket_counts.clear()
+        self.solver.stats.record_queue_flush(cause)
+        self._dispatch(entries)
+
+    def flush_group(self, prekey: tuple, cause: str) -> None:
+        """Flush only the LPs of one stacking pre-key group.
+
+        Used by the size trigger (the group can already fill a stacked
+        batch) and by :meth:`LPFuture.result` demands (control flow
+        needs this group's answers *now*; other groups stay pending and
+        keep accumulating toward the crossover).  A no-op when the group
+        has nothing pending.
+        """
+        entries = [entry for entry in self._pending if entry[0] == prekey]
+        if not entries:
+            return
+        self._pending = [entry for entry in self._pending
+                         if entry[0] != prekey]
+        self._bucket_counts.pop(prekey, None)
+        self.solver.stats.record_queue_flush(cause)
+        self._dispatch(entries)
+
+    def _dispatch(self, entries: list[tuple]) -> None:
+        """Solve a flushed entry list and resolve its futures in order."""
+        problems = [prepared for __, prepared, __f in entries]
+        purposes = [future.purpose for __, __p, future in entries]
+        results = self.solver.solve_many(problems, purpose=purposes)
+        for (__, __p, future), result in zip(entries, results):
+            future._resolve(result)
+        if self.notes:
+            self._purge_notes()
+
+    def _purge_notes(self) -> None:
+        """Drop notes whose futures have resolved.
+
+        Notes exist to let a *pending* LP be found again; once resolved,
+        the answer lives in the owning object's cache (the callbacks ran
+        at flush) and keeping the note would pin the keyed object — for
+        ``id()``-keyed notes, dangerously so, since a dead id can be
+        recycled by a new object.
+        """
+        self.notes = {key: value for key, value in self.notes.items()
+                      if not value[1].done()}

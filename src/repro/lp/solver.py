@@ -46,6 +46,25 @@ except ImportError:  # pragma: no cover
 MIN_STACK_GROUP = 8
 
 
+def stack_prekey(c: np.ndarray, a_ub: np.ndarray | None, bounds) -> tuple:
+    """Conversion-free stacking pre-key of one prepared LP.
+
+    Groups problems by ``(n_vars, n_constraints, bounds finiteness
+    pattern)`` — a cheap over-approximation of the exact stacking
+    signature (which additionally splits by artificial-column count and
+    requires a standard-form conversion to compute).  Two LPs with equal
+    pre-keys *may* stack; two with different pre-keys never do.  Shared
+    by :meth:`LinearProgramSolver.solve_many`'s miss grouping and the
+    deferred futures queue's accumulation buckets
+    (:class:`repro.lp.futures.DeferredLPQueue`).
+    """
+    pattern = tuple(
+        (lo is not None and math.isfinite(lo),
+         hi is not None and math.isfinite(hi))
+        for lo, hi in bounds)
+    return (c.shape[0], a_ub.shape[0] if a_ub is not None else 0, pattern)
+
+
 @dataclass(frozen=True)
 class LPResult:
     """Outcome of one linear program.
@@ -254,6 +273,22 @@ class LinearProgramSolver:
                           else LPResultCache(cache_size))
         else:
             self.cache = None
+        #: Lazily created per-solver deferred futures queue; see
+        #: :meth:`deferred_queue`.
+        self._deferred_queue = None
+
+    def deferred_queue(self):
+        """The per-solver :class:`repro.lp.futures.DeferredLPQueue`.
+
+        Created on first use so solvers that never defer pay nothing.
+        All deferred call sites of one solver share this queue — that is
+        what lets LPs born in different regions and call sites co-flush
+        into one stacked group.
+        """
+        if self._deferred_queue is None:
+            from .futures import DeferredLPQueue
+            self._deferred_queue = DeferredLPQueue(self)
+        return self._deferred_queue
 
     def solve(self, c, a_ub=None, b_ub=None, bounds=None, *,
               purpose: str = "generic") -> LPResult:
@@ -355,12 +390,22 @@ class LinearProgramSolver:
                     continue
                 pending[key] = index
             misses.append(index)
+        pregroups: dict[tuple, list[int]] = {}
+        for index in misses:
+            c, a_ub, __, bounds = prepared[index]
+            pregroups.setdefault(stack_prekey(c, a_ub, bounds),
+                                 []).append(index)
+        for premembers in pregroups.values():
+            # The group-size histogram behind the "median stacked-group
+            # size" metric: how wide the stacking-eligible groups of this
+            # batch actually are (recorded whether or not they stack).
+            self.stats.record_group_size(len(premembers))
         remaining = misses
         if (len(misses) >= MIN_STACK_GROUP
                 and self.backend in ("simplex", "hybrid")
                 and not scalar_kernels_enabled()):
             remaining = self._solve_misses_stacked(
-                misses, prepared, keys, purposes, results)
+                pregroups, prepared, keys, purposes, results)
         for index in remaining:
             result = self._solve_prepared(*prepared[index],
                                           purpose=purposes[index])
@@ -378,12 +423,14 @@ class LinearProgramSolver:
             results[index] = cached
         return results
 
-    def _solve_misses_stacked(self, misses: list[int], prepared: list,
-                              keys: list, purposes: list[str],
+    def _solve_misses_stacked(self, pregroups: dict[tuple, list[int]],
+                              prepared: list, keys: list,
+                              purposes: list[str],
                               results: list) -> list[int]:
         """Route same-shape miss groups through the stacked kernel.
 
-        Groups the miss set by canonical shape and runs every group of
+        Takes the miss set already grouped by conversion-free stacking
+        pre-key (see :func:`stack_prekey`) and runs every group of
         :data:`MIN_STACK_GROUP` or more through
         :func:`repro.lp.batch_simplex.solve_simplex_batch`, recording
         each answered problem exactly as the per-problem path would
@@ -393,24 +440,13 @@ class LinearProgramSolver:
         indices still unsolved — members of too-small groups,
         unstackable shapes and flagged stragglers — for the per-problem
         path.  Grouping happens in two stages so small groups never pay
-        a standard-form conversion they cannot use: a conversion-free
-        pre-key ``(n_vars, n_constraints, bounds pattern)`` first, then
-        the exact stacking signature (which additionally splits by
+        a standard-form conversion they cannot use: the pre-key first,
+        then the exact stacking signature (which additionally splits by
         artificial-column count) within large-enough pre-groups; the
         conversion time of members that still end up unstacked is
         charged to their purpose as plain wall time.
         """
-        pregroups: dict[tuple, list[int]] = {}
         leftover: list[int] = []
-        for index in misses:
-            c, a_ub, __, bounds = prepared[index]
-            pattern = tuple(
-                (lo is not None and math.isfinite(lo),
-                 hi is not None and math.isfinite(hi))
-                for lo, hi in bounds)
-            key = (c.shape[0],
-                   a_ub.shape[0] if a_ub is not None else 0, pattern)
-            pregroups.setdefault(key, []).append(index)
         forms: dict[int, object] = {}
         groups: dict[tuple, list[int]] = {}
         for premembers in pregroups.values():

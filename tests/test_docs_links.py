@@ -1,0 +1,68 @@
+"""Link check for the Markdown documentation.
+
+Every relative link in ``README.md`` and ``docs/*.md`` must resolve to
+a file or directory inside the repository — a renamed module or moved
+guide breaks these silently otherwise.  External (``http``/``mailto``)
+links and GitHub-web relative URLs that escape the repository (the CI
+badge's ``../../actions/...``) are out of scope.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — target captured up to the closing parenthesis.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Link targets that are not local file references.
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def _doc_files() -> list[Path]:
+    docs = sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [REPO_ROOT / "README.md", *docs]
+
+
+def _relative_links(doc: Path) -> list[str]:
+    links = []
+    for target in _LINK.findall(doc.read_text(encoding="utf-8")):
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        links.append(target.split("#", 1)[0])
+    return [link for link in links if link]
+
+
+def test_doc_files_exist():
+    docs = _doc_files()
+    names = {doc.name for doc in docs}
+    # The three LP-substrate guides must ship alongside the README.
+    assert {"README.md", "architecture.md", "lp-substrate.md",
+            "counters.md"} <= names
+
+
+@pytest.mark.parametrize("doc", _doc_files(), ids=lambda d: d.name)
+def test_relative_links_resolve(doc):
+    broken = []
+    for target in _relative_links(doc):
+        resolved = (doc.parent / target).resolve()
+        try:
+            resolved.relative_to(REPO_ROOT)
+        except ValueError:
+            # Escapes the repo: a GitHub-web relative URL (e.g. the CI
+            # badge's ../../actions/... link), not a local file.
+            continue
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"broken relative links in {doc.name}: {broken}"
+
+
+def test_readme_links_the_guides():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for guide in ("docs/architecture.md", "docs/lp-substrate.md",
+                  "docs/counters.md"):
+        assert f"({guide})" in readme, f"README does not link {guide}"

@@ -1,0 +1,356 @@
+"""Deferred-flush LP futures queue: semantics, accounting, equivalence.
+
+The queue's contract is that it changes *when* LPs reach the solver but
+never *what* they answer or *how* they are counted: flushes preserve
+enqueue order, memo/dedupe accounting matches the eager path hit for
+hit, and whole optimization runs produce bit-identical plan sets and LP
+counters whether dispatch is deferred (``REPRO_DEFERRED_LP=1``, the
+default), eager (``=0``) or fully scalar (``REPRO_SCALAR_KERNELS=1``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.lp.futures as futures_mod
+from repro.core import encode_result
+from repro.core.stats import OptimizerStats
+from repro.geometry import (ConvexPolytope, RelevanceRegion,
+                            chebyshev_many, chebyshev_many_deferred,
+                            emptiness_many, emptiness_many_deferred,
+                            has_interior_many, has_interior_many_deferred,
+                            regions_empty_many)
+from repro.lp import LinearProgramSolver, LPStats
+from repro.query import QueryGenerator
+from repro.service.registry import get_scenario
+
+
+def _problems(count: int, n: int = 3, m: int = 6, seed: int = 0,
+              shapes: int = 1) -> list[tuple]:
+    """Random feasible LPs spread over ``shapes`` distinct row counts."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for index in range(count):
+        rows = m + index % shapes
+        a = rng.normal(size=(rows, n))
+        anchor = rng.uniform(-1, 1, size=n)
+        b = a @ anchor + rng.uniform(0.1, 2.0, size=rows)
+        out.append((rng.normal(size=n), a, b, None))
+    return out
+
+
+def _fresh_solver(cache_size: int = 64) -> LinearProgramSolver:
+    return LinearProgramSolver(stats=LPStats(), backend="simplex",
+                               cache_size=cache_size)
+
+
+def _exactly_equal(got, want) -> bool:
+    if got.status != want.status:
+        return False
+    if got.status != "optimal":
+        return True
+    return bool((got.x == want.x).all()) and got.objective == want.objective
+
+
+class TestQueueFlushSemantics:
+    def test_result_matches_eager_solve(self):
+        solver = _fresh_solver()
+        queue = solver.deferred_queue()
+        problems = _problems(5)
+        futures = [queue.enqueue(*problem, purpose="unit")
+                   for problem in problems]
+        assert len(queue) == len(problems)
+        eager = _fresh_solver()
+        for problem, future in zip(problems, futures):
+            want = eager.solve(*problem, purpose="unit")
+            assert _exactly_equal(future.result(), want)
+
+    def test_demand_flushes_whole_prekey_group_only(self):
+        solver = _fresh_solver()
+        queue = solver.deferred_queue()
+        same = [queue.enqueue(*problem, purpose="unit")
+                for problem in _problems(3, m=6)]
+        other = [queue.enqueue(*problem, purpose="unit")
+                 for problem in _problems(2, m=9, seed=5)]
+        assert len(queue) == 5
+        same[0].result()
+        # The demanded future's whole stacking group resolved...
+        assert all(future.done() for future in same)
+        # ...while the other group keeps accumulating.
+        assert not any(future.done() for future in other)
+        assert len(queue) == 2
+        assert solver.stats.queue_flush_demand == 1
+
+    def test_size_trigger_flushes_one_bucket(self, monkeypatch):
+        monkeypatch.setattr(futures_mod, "QUEUE_FLUSH_SIZE", 3)
+        solver = _fresh_solver()
+        queue = solver.deferred_queue()
+        strays = [queue.enqueue(*problem, purpose="unit")
+                  for problem in _problems(2, m=9, seed=5)]
+        futures = [queue.enqueue(*problem, purpose="unit")
+                   for problem in _problems(3, m=6)]
+        assert all(future.done() for future in futures)
+        assert not any(future.done() for future in strays)
+        assert solver.stats.queue_flush_size == 1
+        assert solver.stats.queue_flush_demand == 0
+        assert solver.stats.queue_enqueued == 5
+
+    def test_explicit_flush_drains_everything(self):
+        solver = _fresh_solver()
+        queue = solver.deferred_queue()
+        futures = [queue.enqueue(*problem, purpose="unit")
+                   for problem in _problems(2, m=6)]
+        futures += [queue.enqueue(*problem, purpose="unit")
+                    for problem in _problems(2, m=9, seed=5)]
+        queue.flush()
+        assert all(future.done() for future in futures)
+        assert len(queue) == 0
+        assert solver.stats.queue_flush_explicit == 1
+        # Flushing an empty queue records nothing.
+        queue.flush()
+        assert solver.stats.queue_flush_explicit == 1
+
+    def test_flush_ordering_deterministic(self):
+        """Flushes dispatch in enqueue order — results land bit-identical
+        to an eager per-problem sequence regardless of demand order."""
+        problems = _problems(8, shapes=2)
+        eager = _fresh_solver()
+        want = [eager.solve(*problem, purpose="unit")
+                for problem in problems]
+        for demand_order in ([7, 0, 3], [2, 6], [5]):
+            solver = _fresh_solver()
+            queue = solver.deferred_queue()
+            futures = [queue.enqueue(*problem, purpose="unit")
+                       for problem in problems]
+            for index in demand_order:
+                futures[index].result()
+            queue.flush()
+            for future, reference in zip(futures, want):
+                assert _exactly_equal(future.result(), reference)
+
+    def test_on_resolve_callback_fires_at_flush(self):
+        solver = _fresh_solver()
+        queue = solver.deferred_queue()
+        seen = []
+        future = queue.enqueue(*_problems(1)[0], purpose="unit",
+                               on_resolve=seen.append)
+        assert seen == []
+        queue.flush()
+        assert len(seen) == 1
+        assert seen[0] is future.result()
+
+
+class TestQueueAccounting:
+    def test_memo_dedupe_identical_to_eager(self):
+        problems = _problems(6, shapes=2)
+        script = problems + problems[:3] + _problems(2, seed=9)
+        eager = _fresh_solver()
+        for problem in script:
+            eager.solve(*problem, purpose="unit")
+        deferred = _fresh_solver()
+        queue = deferred.deferred_queue()
+        futures = [queue.enqueue(*problem, purpose="unit")
+                   for problem in script]
+        for future in futures:
+            future.result()
+        assert deferred.stats.solved == eager.stats.solved
+        assert deferred.stats.cache_hits == eager.stats.cache_hits
+        assert deferred.stats.by_purpose() == eager.stats.by_purpose()
+        assert deferred.stats.infeasible == eager.stats.infeasible
+
+    def test_queue_counters_recorded(self):
+        solver = _fresh_solver()
+        queue = solver.deferred_queue()
+        futures = [queue.enqueue(*problem, purpose="unit")
+                   for problem in _problems(4)]
+        futures[0].result()
+        assert solver.stats.queue_enqueued == 4
+        assert solver.stats.queue_flush_demand == 1
+
+    def test_unknown_flush_cause_rejected(self):
+        with pytest.raises(ValueError):
+            LPStats().record_queue_flush("mystery")
+
+    def test_median_stacked_group_size(self):
+        stats = LPStats()
+        assert stats.median_stacked_group_size() == 0.0
+        stats.record_batch(group_size=8, solved=8, rounds=3,
+                           active_rounds=20, fallbacks=0)
+        stats.record_batch(group_size=24, solved=24, rounds=5,
+                           active_rounds=100, fallbacks=0)
+        # 8 LPs at size 8, 24 LPs at size 24: the median LP rides a 24.
+        assert stats.median_stacked_group_size() == 24.0
+        assert stats.stacked_group_size_histogram() == {8: 1, 24: 1}
+        other = LPStats()
+        other.merge(stats)
+        assert other.stacked_group_size_histogram() == {8: 1, 24: 1}
+        other.reset()
+        assert other.median_stacked_group_size() == 0.0
+
+    def test_optimizer_stats_summary_exposes_queue_counters(self):
+        stats = OptimizerStats()
+        stats.lp_stats.record_queue_enqueued(5)
+        stats.lp_stats.record_queue_flush("size")
+        stats.lp_stats.record_queue_flush("demand")
+        stats.lp_stats.record_batch(group_size=8, solved=8, rounds=2,
+                                    active_rounds=10, fallbacks=0)
+        summary = stats.summary()
+        assert summary["lp_queue_enqueued"] == 5
+        assert summary["lp_queue_flush_size"] == 1
+        assert summary["lp_queue_flush_demand"] == 1
+        assert summary["lp_queue_flush_explicit"] == 0
+        assert summary["lp_median_stacked_group_size"] == 8.0
+
+
+class TestLazyValue:
+    def test_resolved_and_map(self):
+        lazy = futures_mod.LazyValue.resolved(3)
+        assert lazy.ready()
+        assert lazy.get() == 3
+        assert lazy.map(lambda v: v * 2).get() == 6
+
+    def test_deferred_demands_on_get(self):
+        solver = _fresh_solver()
+        queue = solver.deferred_queue()
+        future = queue.enqueue(*_problems(1)[0], purpose="unit")
+        lazy = futures_mod.LazyValue.deferred(
+            future, lambda result: result.status)
+        doubled = lazy.map(lambda status: status * 2)
+        assert not lazy.ready()
+        assert lazy.get() == "optimal"
+        assert lazy.ready()
+        assert doubled.get() == "optimaloptimal"
+
+
+def _boxes(count: int, *, empty_every: int | None = None
+           ) -> list[ConvexPolytope]:
+    polys = []
+    for index in range(count):
+        lo = 0.1 * index
+        poly = ConvexPolytope.box([lo, lo], [lo + 1.0, lo + 2.0])
+        if empty_every and index % empty_every == 1:
+            poly = poly.intersect(
+                ConvexPolytope.box([5.0, 5.0], [6.0, 6.0]))
+        polys.append(poly)
+    return polys
+
+
+class TestDeferredGeometryHelpers:
+    def test_emptiness_matches_eager(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEFERRED_LP", "1")
+        eager = emptiness_many(_boxes(6, empty_every=2), _fresh_solver())
+        lazies = emptiness_many_deferred(_boxes(6, empty_every=2),
+                                         _fresh_solver())
+        assert [lazy.get() for lazy in lazies] == eager
+
+    def test_chebyshev_and_interior_match_eager(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEFERRED_LP", "1")
+        solver_a, solver_b = _fresh_solver(), _fresh_solver()
+        eager = chebyshev_many(_boxes(5), solver_a)
+        lazies = chebyshev_many_deferred(_boxes(5), solver_b)
+        for (want_c, want_r), lazy in zip(eager, lazies):
+            got_c, got_r = lazy.get()
+            assert got_r == want_r
+            assert (got_c == want_c).all()
+        assert solver_a.stats.solved == solver_b.stats.solved
+        eager_interior = has_interior_many(_boxes(5), _fresh_solver())
+        lazy_interior = has_interior_many_deferred(_boxes(5),
+                                                   _fresh_solver())
+        assert [lazy.get() for lazy in lazy_interior] == eager_interior
+
+    def test_callbacks_fill_instance_caches_at_flush(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEFERRED_LP", "1")
+        solver = _fresh_solver()
+        polys = _boxes(3)
+        emptiness_many_deferred(polys, solver)
+        solver.deferred_queue().flush()
+        # Caches were installed by the flush callbacks, without any
+        # future having been demanded.
+        assert [poly._empty_cache for poly in polys] == [False] * 3
+
+    def test_pending_instance_reuses_future_across_calls(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEFERRED_LP", "1")
+        solver = _fresh_solver()
+        poly = _boxes(1)[0]
+        first = emptiness_many_deferred([poly], solver)[0]
+        second = emptiness_many_deferred([poly], solver)[0]
+        assert second.get() == first.get()
+        # One LP total: the second call found the pending future in the
+        # queue notes (the eager path would have found the instance
+        # cache filled), so no duplicate and no extra cache hit.
+        assert solver.stats.solved == 1
+        assert solver.stats.cache_hits == 0
+        # Resolved notes are purged so id() reuse cannot alias.
+        assert not solver.deferred_queue().notes
+
+    def test_disabled_mode_returns_resolved_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEFERRED_LP", "0")
+        lazies = emptiness_many_deferred(_boxes(3), _fresh_solver())
+        assert all(lazy.ready() for lazy in lazies)
+        assert [lazy.get() for lazy in lazies] == [False] * 3
+
+
+class TestRegionsEmptyMany:
+    def _regions(self) -> list[RelevanceRegion]:
+        space = ConvexPolytope.box([0.0, 0.0], [1.0, 1.0])
+        cut_lo = ConvexPolytope.box([0.0, 0.0], [0.5, 1.0])
+        cut_hi = ConvexPolytope.box([0.5, 0.0], [1.0, 1.0])
+        full = RelevanceRegion(space)
+        full.subtract_many([cut_lo, cut_hi])  # covered: empty
+        half = RelevanceRegion(space)
+        half.subtract_many([cut_lo])  # right half survives
+        untouched = RelevanceRegion(space)
+        return [full, half, untouched]
+
+    @pytest.mark.parametrize("mode", ["1", "0"])
+    def test_matches_sequential_is_empty(self, monkeypatch, mode):
+        monkeypatch.setenv("REPRO_DEFERRED_LP", mode)
+        solver = _fresh_solver()
+        want = [region.is_empty(solver) for region in self._regions()]
+        got = regions_empty_many(self._regions(), _fresh_solver())
+        assert got == want == [True, False, False]
+
+
+class TestFullRunEquivalence:
+    """Whole optimizations across dispatch modes, plan sets and counters."""
+
+    @pytest.mark.parametrize("scenario,seed,num_tables,shape", [
+        ("cloud", 0, 4, "chain"),
+        ("cloud", 1, 3, "star"),
+        ("approx", 2, 4, "chain"),
+    ])
+    def test_deferred_eager_scalar_identical(self, monkeypatch, scenario,
+                                             seed, num_tables, shape):
+        query = QueryGenerator(seed=seed).generate(num_tables, shape, 1)
+        monkeypatch.setenv("REPRO_SCALAR_KERNELS", "1")
+        scalar = get_scenario(scenario).optimize(query)
+        monkeypatch.setenv("REPRO_SCALAR_KERNELS", "")
+        monkeypatch.setenv("REPRO_DEFERRED_LP", "0")
+        eager = get_scenario(scenario).optimize(query)
+        monkeypatch.setenv("REPRO_DEFERRED_LP", "1")
+        deferred = get_scenario(scenario).optimize(query)
+        deferred_doc = json.dumps(encode_result(deferred), sort_keys=True)
+        assert deferred_doc == json.dumps(encode_result(eager),
+                                          sort_keys=True)
+        assert deferred_doc == json.dumps(encode_result(scalar),
+                                          sort_keys=True)
+        # Deferring is pure reordering: LP counts, memo hits and purpose
+        # attribution match the eager batched path exactly.
+        assert deferred.stats.lps_solved == eager.stats.lps_solved
+        assert (deferred.stats.lp_stats.cache_hits
+                == eager.stats.lp_stats.cache_hits)
+        assert (deferred.stats.lp_stats.by_purpose()
+                == eager.stats.lp_stats.by_purpose())
+        assert deferred.stats.lp_queue_enqueued > 0
+        assert eager.stats.lp_queue_enqueued == 0
+        assert scalar.stats.lp_queue_enqueued == 0
+        for counter in ("plans_created", "plans_inserted",
+                        "plans_discarded_new", "plans_displaced_old",
+                        "pruning_comparisons"):
+            assert (getattr(deferred.stats, counter)
+                    == getattr(eager.stats, counter)), counter
+            assert (getattr(deferred.stats, counter)
+                    == getattr(scalar.stats, counter)), counter
