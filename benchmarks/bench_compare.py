@@ -37,13 +37,15 @@ family from the refresh silently removes its gates)::
     python benchmarks/bench_anytime_ladder.py --scenario approx \
         --json bench-anytime-approx.json
     python benchmarks/bench_lp_kernels.py --json bench-lp-kernels.json
+    python benchmarks/bench_serving.py --json bench-serving.json
     python benchmarks/bench_compare.py refresh \
         --baseline benchmarks/baselines/bench-smoke.json \
         --fig12 bench-fig12-chain.json --ablation bench-ablation.json \
         --throughput bench-batch-throughput.json \
         bench-topology-star.json \
         --anytime bench-anytime-cloud.json bench-anytime-approx.json \
-        --lpkernels bench-lp-kernels.json
+        --lpkernels bench-lp-kernels.json \
+        --serving bench-serving.json
 
 PRs labeled ``perf-regression-ok`` skip the CI gate (see README).
 """
@@ -245,6 +247,58 @@ def _lp_kernel_metrics(path: str) -> dict[str, dict]:
     return metrics
 
 
+def _serving_metrics(path: str) -> dict[str, dict]:
+    """Tracked metrics from the serving-gateway benchmark JSON.
+
+    The gateway's serving counters are deterministic under the bench's
+    seeded open-loop workload (CRC-seeded query mix, seeded Poisson
+    arrivals and tenant choice, LP-count deadline budgets), so
+    admission outcomes, completion counts, deadline partials and the
+    signature-routing distribution are gated: any drift means the
+    admission, routing or anytime-serving logic changed behavior.
+    ``dropped`` (non-429 failures) gates at an expected baseline of 0 —
+    a single dropped request fails the compare outright.  Timing
+    metrics (qps, client-side latency percentiles) are informational.
+    """
+    report = _load(path)
+    tag = (f"serving.{report.get('shape', '?')}"
+           f".t{report.get('num_tables', '?')}"
+           f".s{report.get('shards', '?')}")
+    totals = report["counters"]["totals"]
+    routing = report["counters"]["routing"]
+    metrics: dict[str, dict] = {}
+    for name in ("admitted", "completed", "deadline_partials",
+                 "streams", "events_streamed"):
+        metrics[f"{tag}.{name}"] = {
+            "value": totals[name], "direction": "higher",
+            "tolerance": DEFAULT_TOLERANCE, "gate": True}
+    for name in ("rejected_rate", "rejected_capacity", "errors"):
+        metrics[f"{tag}.{name}"] = {
+            "value": totals[name], "direction": "lower",
+            "tolerance": DEFAULT_TOLERANCE, "gate": True}
+    metrics[f"{tag}.dropped"] = {
+        "value": report.get("dropped", 0), "direction": "lower",
+        "tolerance": DEFAULT_TOLERANCE, "gate": True}
+    metrics[f"{tag}.sticky_hits"] = {
+        "value": routing["sticky_hits"], "direction": "higher",
+        "tolerance": DEFAULT_TOLERANCE, "gate": True}
+    metrics[f"{tag}.distinct_signatures"] = {
+        "value": routing["distinct_signatures"], "direction": "lower",
+        "tolerance": DEFAULT_TOLERANCE, "gate": True}
+    for index, hits in enumerate(routing["shard_hits"]):
+        metrics[f"{tag}.shard{index}_hits"] = {
+            "value": hits, "direction": "higher",
+            "tolerance": DEFAULT_TOLERANCE, "gate": True}
+    metrics[f"{tag}.qps"] = {
+        "value": report["qps"], "direction": "higher",
+        "tolerance": DEFAULT_TOLERANCE, "gate": False}
+    for p in ("p50", "p95", "p99"):
+        metrics[f"{tag}.latency_{p}_ms"] = {
+            "value": report["latency_ms"][p], "direction": "lower",
+            "tolerance": DEFAULT_TOLERANCE, "gate": False}
+    return metrics
+
+
 def _throughput_metrics(path: str) -> dict[str, dict]:
     """Tracked metrics from the throughput harness JSON (informational:
     queries/second on shared runners is too noisy to gate)."""
@@ -279,6 +333,8 @@ def collect_metrics(args) -> dict[str, dict]:
         metrics.update(_anytime_metrics(path))
     if args.lpkernels:
         metrics.update(_lp_kernel_metrics(args.lpkernels))
+    if args.serving:
+        metrics.update(_serving_metrics(args.serving))
     if not metrics:
         raise SystemExit("no tracked metrics found in the given artifacts")
     return metrics
@@ -391,6 +447,9 @@ def main() -> int:
     parser.add_argument("--lpkernels", default=None,
                         help="stacked-simplex microbenchmark JSON "
                              "(bench_lp_kernels.py --json)")
+    parser.add_argument("--serving", default=None,
+                        help="serving-gateway benchmark JSON "
+                             "(bench_serving.py --json)")
     parser.add_argument("--allow-regression", action="store_true",
                         help="report regressions but exit 0 (local "
                              "experimentation)")

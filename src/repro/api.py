@@ -34,6 +34,17 @@ Anytime optimization rides on the same session::
 See :mod:`repro.core.run` for the underlying resumable
 :class:`OptimizationRun` engine.
 
+To serve sessions over the network, the :mod:`repro.serve` gateway
+shards them behind an HTTP front end with tenant budgets, signature
+routing and live NDJSON progress streams::
+
+    from repro.api import GatewayClient, GatewayConfig, launch_gateway
+
+    with launch_gateway(GatewayConfig(shards=2)) as handle:
+        client = GatewayClient(handle.host, handle.port)
+        response = client.optimize(query, tenant="team-a",
+                                   deadline_seconds=2.0)
+
 For one-off scripts, :func:`optimize_query` optimizes a single query
 under a named scenario without session ceremony.
 """
@@ -42,8 +53,12 @@ from __future__ import annotations
 
 from .core import (DEFAULT_PRECISION_LADDER, Budget, OptimizationResult,
                    OptimizationRun, ProgressEvent, PWLRRPAOptions,
+                   StoredPlanSet, decode_plan_set, encode_plan_set,
                    guarantee_bound, ladder_to)
 from .query import Query
+from .serve import (GatewayClient, GatewayConfig, GatewayHandle,
+                    ServingGateway)
+from .serve import launch as launch_gateway
 from .service.cache import WarmStartCache
 from .service.registry import (Scenario, ScenarioRegistry,
                                available_scenarios, default_registry,
@@ -56,18 +71,26 @@ __all__ = [
     "DEFAULT_PRECISION_LADDER",
     "STATUSES",
     "BatchItem",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayHandle",
     "OptimizationRun",
     "OptimizerSession",
     "PWLRRPAOptions",
     "ProgressEvent",
     "Scenario",
     "ScenarioRegistry",
+    "ServingGateway",
+    "StoredPlanSet",
     "WarmStartCache",
     "available_scenarios",
+    "decode_plan_set",
     "default_registry",
+    "encode_plan_set",
     "get_scenario",
     "guarantee_bound",
     "ladder_to",
+    "launch_gateway",
     "optimize_query",
     "query_signature",
     "register_scenario",

@@ -26,8 +26,9 @@ from .run import (DEFAULT_PRECISION_LADDER, RUN_COMPLETED, RUN_EXHAUSTED,
                   ProgressEvent, RungOutcome, guarantee_bound, ladder_to,
                   validate_ladder)
 from .selection import PlanSelector, SelectedPlan
-from .serialize import (StoredPlanSet, decode_plan_set, encode_result,
-                        load_plan_set, save_result)
+from .serialize import (StoredPlanSet, decode_plan_set,
+                        encode_plan_set, encode_result, load_plan_set,
+                        save_result)
 from .stats import OptimizerStats
 
 __all__ = [
@@ -56,6 +57,7 @@ __all__ = [
     "StoredPlanSet",
     "count_considered_splits",
     "decode_plan_set",
+    "encode_plan_set",
     "encode_result",
     "guarantee_bound",
     "ladder_to",

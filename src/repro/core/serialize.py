@@ -91,6 +91,32 @@ def encode_result(result: OptimizationResult) -> dict:
             "entries": entries}
 
 
+def encode_plan_set(plan_set: "StoredPlanSet") -> dict:
+    """Encode a reloaded :class:`StoredPlanSet` back into a document.
+
+    Exact inverse of :func:`decode_plan_set` — a decode/encode round
+    trip reproduces the document value-for-value (constraints, PWL
+    pieces and floats are preserved), so a serving tier can hand a
+    session's decoded plan set to a remote client as the same JSON the
+    optimizer produced.
+    """
+    entries = []
+    for entry in plan_set.entries:
+        entries.append({
+            "plan": _encode_plan(entry.plan),
+            "cost": {name: _encode_pwl(f)
+                     for name, f in entry.cost.components.items()},
+            "region": {"space": _encode_polytope(entry.space),
+                       "cutouts": [_encode_polytope(c)
+                                   for c in entry.cutouts]},
+        })
+    return {"version": FORMAT_VERSION,
+            "num_params": plan_set.num_params,
+            "alpha": float(plan_set.alpha),
+            "guarantee": float(plan_set.guarantee),
+            "entries": entries}
+
+
 def save_result(result: OptimizationResult, path) -> None:
     """Write a result's Pareto plan set to a JSON file."""
     with open(path, "w", encoding="utf-8") as handle:

@@ -1,0 +1,52 @@
+"""repro.serve — the sharded async serving gateway.
+
+Turns :class:`repro.service.OptimizerSession` shards into a network
+service: tenant-budgeted admission, signature-affine shard routing,
+live NDJSON progress streaming, deadline-as-budget partial results and
+a ``/metrics`` counter tree.  Stdlib-only (asyncio + http.client); see
+``docs/serving.md`` for the wire contract.
+
+Typical use::
+
+    from repro.serve import GatewayConfig, GatewayClient, launch
+
+    with launch(GatewayConfig(shards=2)) as handle:
+        client = GatewayClient(handle.host, handle.port)
+        response = client.optimize(query, tenant="team-a",
+                                   deadline_seconds=2.0)
+        plan_set = decode_plan_set(response.doc["plan_set"])
+"""
+
+from .admission import Admission, AdmissionController, TokenBucket
+from .client import GatewayClient, GatewayResponse
+from .counters import (LATENCY_BUCKETS_MS, LatencyHistogram,
+                       ServingCounters, TenantCounters)
+from .gateway import GatewayConfig, GatewayHandle, ServingGateway, launch
+from .protocol import (OptimizeRequest, ProtocolError, event_to_wire,
+                       ndjson_line, parse_optimize_request,
+                       query_from_doc, query_to_doc)
+from .router import SignatureRouter
+
+__all__ = [
+    "Admission",
+    "AdmissionController",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayHandle",
+    "GatewayResponse",
+    "LATENCY_BUCKETS_MS",
+    "LatencyHistogram",
+    "OptimizeRequest",
+    "ProtocolError",
+    "ServingCounters",
+    "ServingGateway",
+    "SignatureRouter",
+    "TenantCounters",
+    "TokenBucket",
+    "event_to_wire",
+    "launch",
+    "ndjson_line",
+    "parse_optimize_request",
+    "query_from_doc",
+    "query_to_doc",
+]

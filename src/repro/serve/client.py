@@ -1,0 +1,171 @@
+"""A minimal blocking client for the serving gateway.
+
+Wraps ``http.client`` (stdlib) so tests, benchmarks and examples can
+talk to a gateway without hand-writing HTTP.  One connection per call
+— the gateway closes connections after every response anyway — which
+also makes the client trivially thread-safe for load generators.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..query import Query
+from .protocol import query_to_doc
+
+
+@dataclass(frozen=True)
+class GatewayResponse:
+    """One non-streaming gateway response.
+
+    Attributes:
+        status_code: HTTP status.
+        doc: Parsed JSON body.
+        headers: Response headers (lower-cased names).
+    """
+
+    status_code: int
+    doc: dict
+    headers: dict
+
+    @property
+    def ok(self) -> bool:
+        return self.status_code == 200
+
+    @property
+    def retry_after(self) -> float | None:
+        """Parsed ``Retry-After`` of a 429, else ``None``."""
+        value = self.headers.get("retry-after")
+        return float(value) if value is not None else None
+
+
+class GatewayClient:
+    """Blocking JSON client for one gateway address.
+
+    Args:
+        host: Gateway host.
+        port: Gateway port.
+        timeout: Socket timeout per request (streaming reads inherit
+            it per chunk, not per stream).
+    """
+
+    def __init__(self, host: str, port: int,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: bytes | None = None) -> GatewayResponse:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            headers = {"Content-Type": "application/json"} if body \
+                else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            doc = json.loads(data) if data else {}
+            return GatewayResponse(
+                status_code=response.status, doc=doc,
+                headers={k.lower(): v
+                         for k, v in response.getheaders()})
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _body(query: Query | None, doc: dict | None, tenant: str,
+              scenario: str | None, precision: float | None,
+              budget: dict | None, deadline_seconds: float | None,
+              stream: bool) -> bytes:
+        if (query is None) == (doc is None):
+            raise ValueError("pass exactly one of query= or doc=")
+        payload = {"tenant": tenant,
+                   "query": doc if doc is not None
+                   else query_to_doc(query),
+                   "stream": stream}
+        if scenario is not None:
+            payload["scenario"] = scenario
+        if precision is not None:
+            payload["precision"] = precision
+        if budget is not None:
+            payload["budget"] = budget
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
+        return json.dumps(payload).encode("utf-8")
+
+    # -- endpoints -----------------------------------------------------
+
+    def optimize(self, query: Query | None = None, *,
+                 doc: dict | None = None, tenant: str = "default",
+                 scenario: str | None = None,
+                 precision: float | None = None,
+                 budget: dict | None = None,
+                 deadline_seconds: float | None = None
+                 ) -> GatewayResponse:
+        """``POST /v1/optimize`` (non-streaming).
+
+        Accepts either a :class:`~repro.query.Query` (encoded for you)
+        or a ready-made query document via ``doc=``.
+        """
+        return self._request(
+            "POST", "/v1/optimize",
+            self._body(query, doc, tenant, scenario, precision, budget,
+                       deadline_seconds, stream=False))
+
+    def stream_optimize(self, query: Query | None = None, *,
+                        doc: dict | None = None,
+                        tenant: str = "default",
+                        scenario: str | None = None,
+                        precision: float | None = None,
+                        budget: dict | None = None,
+                        deadline_seconds: float | None = None
+                        ) -> Iterator[dict]:
+        """``POST /v1/optimize`` with ``stream=true``.
+
+        Yields one dict per NDJSON line as the gateway emits them; the
+        last line is always ``{"kind": "done", ...}``.  Non-200
+        responses yield a single synthesized
+        ``{"kind": "error", "http_status": ..., ...}`` line instead.
+        """
+        body = self._body(query, doc, tenant, scenario, precision,
+                          budget, deadline_seconds, stream=True)
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("POST", "/v1/optimize", body=body,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            if response.status != 200:
+                doc_out = json.loads(response.read() or b"{}")
+                doc_out.update(kind="error",
+                               http_status=response.status)
+                yield doc_out
+                return
+            buffer = b""
+            while True:
+                chunk = response.read(65536)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line)
+            if buffer.strip():
+                yield json.loads(buffer)
+        finally:
+            conn.close()
+
+    def metrics(self) -> dict:
+        """``GET /metrics``."""
+        return self._request("GET", "/metrics").doc
+
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz").doc

@@ -1,0 +1,625 @@
+"""The sharded async serving gateway.
+
+:class:`ServingGateway` turns a set of :class:`repro.service
+.OptimizerSession` shards into a network service: an asyncio HTTP/1.1
+server (stdlib only — ``asyncio.start_server`` plus a small hand-rolled
+request parser) that admits optimize requests under tenant token
+buckets, routes them by query signature so recurring queries land on
+the shard holding their warm-start state, and streams progress events
+live over NDJSON.
+
+Threading model — three kinds of threads, one rule each:
+
+* the **event loop thread** owns every mutable gateway structure
+  (admission state, counters, router).  Handlers touch them only from
+  coroutines, so there are no locks;
+* each **shard thread** (a one-worker ``ThreadPoolExecutor``) owns its
+  ``OptimizerSession`` and runs that shard's optimizations strictly
+  serially — which is exactly what keeps the warm-start cache, LP memo
+  and plan-cost state coherent and hot.  Shard threads never touch
+  gateway state; streaming events cross back into the loop via
+  ``loop.call_soon_threadsafe``;
+* the optional **launcher thread** (:func:`launch`) runs the event loop
+  so synchronous callers — tests, benchmarks, notebooks — can drive the
+  gateway with plain blocking calls through a :class:`GatewayHandle`.
+
+Deadline semantics: ``deadline_seconds`` folds into the run's
+cooperative :class:`~repro.core.Budget`, so a deadline expiry is not an
+error — the optimizer descends the precision ladder coarse-rungs-first
+and the response is the best completed rung as a ``"partial"`` with its
+``(1 + alpha)``-guarantee (HTTP 200).  Only optimizer failures map to
+HTTP 500.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..core import Budget, encode_plan_set, ladder_to
+from ..service import OptimizerSession
+from ..service.signature import query_signature
+from .admission import AdmissionController
+from .counters import ServingCounters
+from .protocol import (OptimizeRequest, ProtocolError, event_to_wire,
+                       ndjson_line, parse_optimize_request)
+from .router import SignatureRouter
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+#: HTTP status for each optimizer outcome.  ``partial`` and ``timeout``
+#: are successful responses: the deadline contract is best-so-far with
+#: a guarantee, not an error.
+_STATUS_HTTP = {"ok": 200, "cached": 200, "partial": 200,
+                "timeout": 200, "error": 500}
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Tunables of one gateway instance.
+
+    Attributes:
+        host: Bind address.
+        port: Bind port (0 = pick a free port; read it back from
+            :attr:`ServingGateway.port`).
+        shards: Number of optimizer shards (sessions).
+        shard_workers: ``workers=`` for each shard's session.  The
+            default 0 keeps each session serial inside its shard
+            thread, which is the sweet spot for serving: per-shard
+            process pools only pay off for single huge queries.
+        scenario: Default scenario for requests that name none.
+        resolution: Parameter-space resolution of the shard sessions.
+        tenant_rate: Token-bucket refill rate per tenant (req/s).
+        tenant_burst: Token-bucket capacity per tenant.
+        max_pending: Global in-flight bound; arrivals beyond it get 429
+            with ``Retry-After`` (overload backpressure).
+        default_deadline_seconds: Deadline applied to requests that set
+            none (``None`` = unbounded).
+        max_body_bytes: Request-body size cap (HTTP 413 above it).
+        warm_start: ``warm_start=`` for the shard sessions.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    shards: int = 2
+    shard_workers: int = 0
+    scenario: str = "cloud"
+    resolution: int = 2
+    tenant_rate: float = 200.0
+    tenant_burst: float = 100.0
+    max_pending: int = 64
+    default_deadline_seconds: float | None = None
+    max_body_bytes: int = 4 * 1024 * 1024
+    warm_start: bool = True
+
+
+@dataclass
+class _Shard:
+    """One optimizer shard: a session plus its single-thread executor."""
+
+    index: int
+    session: OptimizerSession
+    executor: ThreadPoolExecutor
+    requests: int = 0
+
+
+class _BadRequest(Exception):
+    """Internal: malformed HTTP framing (before the JSON layer)."""
+
+
+@dataclass
+class _Outcome:
+    """What a finished request contributes to the counters."""
+
+    completed: bool = False
+    deadline_partial: bool = False
+    error: bool = False
+    events: int = 0
+
+
+class ServingGateway:
+    """Sharded optimize-serving gateway.  See the module docstring.
+
+    Args:
+        config: Gateway tunables (defaults are test-friendly).
+        registry: Scenario registry forwarded to every shard session.
+    """
+
+    def __init__(self, config: GatewayConfig | None = None,
+                 registry=None) -> None:
+        self.config = config or GatewayConfig()
+        self._registry = registry
+        self.router = SignatureRouter(self.config.shards)
+        self.admission = AdmissionController(
+            tenant_rate=self.config.tenant_rate,
+            tenant_burst=self.config.tenant_burst,
+            max_pending=self.config.max_pending)
+        self.counters = ServingCounters()
+        self.shards: list[_Shard] = []
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.port: int | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Build the shard set and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("gateway already started")
+        self._loop = asyncio.get_running_loop()
+        for index in range(self.config.shards):
+            session = OptimizerSession(
+                scenario=self.config.scenario,
+                workers=self.config.shard_workers,
+                resolution=self.config.resolution,
+                warm_start=self.config.warm_start,
+                registry=self._registry)
+            executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"repro-shard-{index}")
+            self.shards.append(_Shard(index, session, executor))
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            limit=2 ** 16)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def draining(self) -> bool:
+        return self.admission.draining
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Stop admitting; wait for in-flight requests to finish.
+
+        New arrivals get HTTP 503 immediately.  Returns ``True`` once
+        the gateway is idle, ``False`` if ``timeout`` elapsed first
+        (drain mode stays on either way).
+        """
+        self.admission.draining = True
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while self.admission.pending > 0:
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            await asyncio.sleep(0.01)
+        return True
+
+    async def stop(self) -> None:
+        """Close the listener and tear down the shard sessions."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for shard in self.shards:
+            shard.executor.shutdown(wait=True)
+            shard.session.close()
+        self.shards = []
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+
+    async def _read_request(self, reader) -> tuple[str, str, dict, bytes]:
+        try:
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            raise _BadRequest("request line too long") from None
+        if not line:
+            raise ConnectionResetError
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _BadRequest("malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        for _ in range(100):
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                raise _BadRequest("header line too long") from None
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _BadRequest("malformed header line")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _BadRequest("too many headers")
+        body = b""
+        length_header = headers.get("content-length")
+        if length_header is not None:
+            try:
+                length = int(length_header)
+            except ValueError:
+                raise _BadRequest("invalid content-length") from None
+            if length < 0:
+                raise _BadRequest("invalid content-length")
+            if length > self.config.max_body_bytes:
+                raise _BadRequest("payload too large", )
+            body = await reader.readexactly(length)
+        return method, target.split("?", 1)[0], headers, body
+
+    @staticmethod
+    def _response_bytes(status: int, payload: dict,
+                        extra_headers: tuple = ()) -> bytes:
+        body = json.dumps(payload).encode("utf-8")
+        head = (f"HTTP/1.1 {status} {_REASONS[status]}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n")
+        for name, value in extra_headers:
+            head += f"{name}: {value}\r\n"
+        return head.encode("latin-1") + b"\r\n" + body
+
+    @staticmethod
+    def _stream_head() -> bytes:
+        return (b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/x-ndjson\r\n"
+                b"Connection: close\r\n\r\n")
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            try:
+                method, path, _headers, body = \
+                    await self._read_request(reader)
+            except _BadRequest as exc:
+                status = 413 if "too large" in str(exc) else 400
+                writer.write(self._response_bytes(
+                    status, {"error": str(exc)}))
+                await writer.drain()
+                return
+            except (ConnectionResetError, asyncio.IncompleteReadError):
+                return
+            await self._dispatch(method, path, body, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _dispatch(self, method: str, path: str, body: bytes,
+                        writer) -> None:
+        if path == "/healthz":
+            if method != "GET":
+                await self._simple(writer, 405,
+                                   {"error": "method not allowed"})
+                return
+            await self._simple(writer, 200, self.health_doc())
+            return
+        if path == "/metrics":
+            if method != "GET":
+                await self._simple(writer, 405,
+                                   {"error": "method not allowed"})
+                return
+            await self._simple(writer, 200, self.metrics_doc())
+            return
+        if path == "/v1/optimize":
+            if method != "POST":
+                await self._simple(writer, 405,
+                                   {"error": "method not allowed"})
+                return
+            await self._handle_optimize(body, writer)
+            return
+        await self._simple(writer, 404, {"error": f"no route {path}"})
+
+    async def _simple(self, writer, status: int, payload: dict,
+                      extra_headers: tuple = ()) -> None:
+        writer.write(self._response_bytes(status, payload, extra_headers))
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # /v1/optimize
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _guess_tenant(body: bytes) -> str | None:
+        """Best-effort tenant attribution for malformed-request counts."""
+        try:
+            doc = json.loads(body)
+            tenant = doc.get("tenant")
+            return tenant if isinstance(tenant, str) and tenant else None
+        except (TypeError, ValueError, AttributeError):
+            return None
+
+    async def _handle_optimize(self, body: bytes, writer) -> None:
+        try:
+            request = parse_optimize_request(body)
+        except ProtocolError as exc:
+            tenant = self._guess_tenant(body)
+            if tenant is not None:
+                self.counters.tenant(tenant).malformed += 1
+            await self._simple(writer, 400, {"error": str(exc)})
+            return
+        tenant = self.counters.tenant(request.tenant)
+        admission = self.admission.admit(request.tenant)
+        if not admission.admitted:
+            if admission.decision == "draining":
+                tenant.rejected_draining += 1
+                await self._simple(writer, 503, {"error": "draining"})
+                return
+            if admission.decision == "capacity":
+                tenant.rejected_capacity += 1
+            else:
+                tenant.rejected_rate += 1
+            await self._simple(
+                writer, 429,
+                {"error": f"rejected: {admission.decision}",
+                 "retry_after": admission.retry_after},
+                extra_headers=(("Retry-After",
+                                f"{admission.retry_after:.2f}"),))
+            return
+        tenant.admitted += 1
+        started = time.monotonic()
+        signature = query_signature(request.query,
+                                    scenario=self._scenario_name(request))
+        shard = self.shards[self.router.route(signature)]
+        shard.requests += 1
+        outcome = _Outcome()
+        try:
+            if request.stream:
+                tenant.streams += 1
+                await self._serve_stream(shard, request, writer, outcome)
+            else:
+                await self._serve_single(shard, request, writer, outcome)
+        finally:
+            self.admission.release()
+            self.counters.latency.record(time.monotonic() - started)
+            if outcome.completed:
+                tenant.completed += 1
+            if outcome.deadline_partial:
+                tenant.deadline_partials += 1
+            if outcome.error:
+                tenant.errors += 1
+            tenant.events_streamed += outcome.events
+
+    def _scenario_name(self, request: OptimizeRequest) -> str:
+        return request.scenario or self.config.scenario
+
+    def _request_budget(self, request: OptimizeRequest) -> Budget | None:
+        """Fold the request deadline into its cooperative budget."""
+        budget = (Budget.from_dict(request.budget)
+                  if request.budget else None)
+        deadline = request.deadline_seconds
+        if deadline is None:
+            deadline = self.config.default_deadline_seconds
+        if deadline is not None:
+            seconds = deadline if budget is None or budget.seconds is None \
+                else min(budget.seconds, deadline)
+            budget = Budget(seconds=seconds,
+                            lps=budget.lps if budget else None,
+                            steps=budget.steps if budget else None)
+        return budget
+
+    # ----- single-response path ---------------------------------------
+
+    def _optimize_on_shard(self, shard: _Shard,
+                           request: OptimizeRequest):
+        """Runs on the shard thread: one blocking optimize call."""
+        budget = self._request_budget(request)
+        if request.precision is not None or budget is not None:
+            return shard.session.optimize(
+                request.query, scenario=request.scenario,
+                precision=request.precision, budget=budget)
+        return shard.session.optimize(request.query,
+                                      scenario=request.scenario)
+
+    @staticmethod
+    def _item_doc(item, shard_index: int) -> dict:
+        doc = {"status": item.status,
+               "signature": item.signature,
+               "scenario": item.scenario,
+               "shard": shard_index,
+               "alpha": item.alpha,
+               "guarantee": item.guarantee,
+               "seconds": item.seconds}
+        if item.ok:
+            doc["plan_set"] = encode_plan_set(item.plan_set)
+            doc["plans"] = len(item.plan_set.entries)
+        if item.error:
+            doc["error"] = item.error
+        return doc
+
+    async def _serve_single(self, shard: _Shard,
+                            request: OptimizeRequest, writer,
+                            outcome: _Outcome) -> None:
+        try:
+            item = await self._loop.run_in_executor(
+                shard.executor, self._optimize_on_shard, shard, request)
+        except Exception as exc:  # optimizer bug — surface, keep serving
+            outcome.error = True
+            await self._simple(writer, 500, {"error": str(exc)})
+            return
+        if item.status == "error":
+            outcome.error = True
+        else:
+            outcome.completed = True
+            outcome.deadline_partial = item.status in ("partial",
+                                                       "timeout")
+        await self._simple(writer, _STATUS_HTTP[item.status],
+                           self._item_doc(item, shard.index))
+
+    # ----- streaming path ---------------------------------------------
+
+    def _stream_on_shard(self, shard: _Shard, request: OptimizeRequest,
+                         queue: asyncio.Queue) -> None:
+        """Runs on the shard thread: iterate the run, push wire docs.
+
+        Every pushed object crosses into the event loop through
+        ``call_soon_threadsafe``; a ``None`` sentinel terminates the
+        stream.  The trailing ``done`` line summarizes the run the way
+        a non-streaming response would (status, achieved alpha,
+        guarantee).
+        """
+        push = lambda doc: self._loop.call_soon_threadsafe(  # noqa: E731
+            queue.put_nowait, doc)
+        ladder = (ladder_to(request.precision)
+                  if request.precision is not None else None)
+        target = (request.precision if request.precision is not None
+                  else 0.0)
+        best = None
+        status = "timeout"
+        try:
+            for event in shard.session.optimize_iter(
+                    request.query, scenario=request.scenario,
+                    precision_ladder=ladder,
+                    budget=self._request_budget(request)):
+                if event.kind == "rung_completed":
+                    best = event
+                push(event_to_wire(event))
+            if best is not None:
+                status = ("ok" if best.alpha <= target + 1e-12
+                          else "partial")
+        except Exception as exc:
+            status = "error"
+            push({"kind": "error", "error": str(exc)})
+        done = {"kind": "done", "status": status}
+        if best is not None:
+            done.update(alpha=best.alpha, guarantee=best.guarantee,
+                        plans=best.plan_count)
+        push(done)
+        push(None)
+
+    async def _serve_stream(self, shard: _Shard,
+                            request: OptimizeRequest, writer,
+                            outcome: _Outcome) -> None:
+        queue: asyncio.Queue = asyncio.Queue()
+        worker = self._loop.run_in_executor(
+            shard.executor, self._stream_on_shard, shard, request, queue)
+        writer.write(self._stream_head())
+        try:
+            while True:
+                doc = await queue.get()
+                if doc is None:
+                    break
+                if doc.get("kind") == "done":
+                    outcome.completed = doc["status"] in (
+                        "ok", "partial")
+                    outcome.deadline_partial = doc["status"] == "partial"
+                    outcome.error = doc["status"] == "error"
+                else:
+                    outcome.events += 1
+                writer.write(ndjson_line(doc))
+                await writer.drain()
+        finally:
+            await worker
+
+    # ------------------------------------------------------------------
+    # Introspection documents
+    # ------------------------------------------------------------------
+
+    def health_doc(self) -> dict:
+        return {"status": "draining" if self.draining else "ok",
+                "shards": len(self.shards),
+                "pending": self.admission.pending}
+
+    def metrics_doc(self) -> dict:
+        doc = self.counters.snapshot()
+        doc["routing"] = self.router.snapshot()
+        doc["draining"] = self.draining
+        doc["pending"] = self.admission.pending
+        doc["shards"] = [
+            {"index": shard.index,
+             "requests": shard.requests,
+             "pool_spawns": shard.session.pool_spawns,
+             "lp_cache_hits": shard.session.lp_cache_hits_total}
+            for shard in self.shards]
+        return doc
+
+
+# ----------------------------------------------------------------------
+# Synchronous front end
+# ----------------------------------------------------------------------
+
+class GatewayHandle:
+    """Blocking facade over a gateway running in a background loop.
+
+    Produced by :func:`launch`; usable as a context manager.  All
+    methods are thread-safe: they schedule coroutines onto the
+    gateway's loop and wait.
+    """
+
+    def __init__(self, gateway: ServingGateway,
+                 loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self.gateway = gateway
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.gateway.config.host
+
+    @property
+    def port(self) -> int:
+        return self.gateway.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def drain(self, timeout: float | None = 30.0) -> bool:
+        """Blocking :meth:`ServingGateway.drain`."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.gateway.drain(timeout), self._loop)
+        return future.result(None if timeout is None else timeout + 5)
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Stop the gateway, its loop and its thread (idempotent)."""
+        if not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.gateway.stop(), self._loop)
+        future.result(timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "GatewayHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def launch(config: GatewayConfig | None = None,
+           registry=None) -> GatewayHandle:
+    """Start a gateway on a background event loop and wait until ready.
+
+    Raises whatever :meth:`ServingGateway.start` raised (e.g. a bind
+    failure) in the calling thread.
+    """
+    gateway = ServingGateway(config, registry)
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+    boot_error: list[BaseException] = []
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(gateway.start())
+        except BaseException as exc:  # surface bind errors to launcher
+            boot_error.append(exc)
+            ready.set()
+            loop.close()
+            return
+        ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=run, name="repro-gateway",
+                              daemon=True)
+    thread.start()
+    ready.wait()
+    if boot_error:
+        raise boot_error[0]
+    return GatewayHandle(gateway, loop, thread)

@@ -1,0 +1,75 @@
+"""Signature-affine shard routing.
+
+The gateway holds a fixed set of shards, each wrapping its own
+:class:`repro.service.OptimizerSession`.  A session's value compounds
+with repetition: its warm-start cache turns repeat signatures into
+instant hits, near-miss precision requests into cheap refinements, and
+its LP memo makes even cold optimizations of similar queries faster.
+All of that state is *per session*, so the router's one job is making
+sure a recurring query signature always lands on the same shard.
+
+Routing is a pure function of the signature — a hash prefix modulo the
+shard count — which needs no routing table, no coordination, and gives
+every client the same answer.  The router additionally keeps the
+serving counters that make the policy observable: per-shard request
+counts (the *hit distribution*) and how many requests were repeats of
+a signature seen before (*sticky hits*), which is the fraction the
+warm-start machinery can accelerate.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+#: Bound on the signatures remembered for repeat detection.  Routing
+#: itself is stateless; this only caps the stickiness-counter memory.
+MAX_TRACKED_SIGNATURES = 65536
+
+
+class SignatureRouter:
+    """Map query signatures to shard indexes, deterministically.
+
+    Args:
+        num_shards: Size of the shard set (fixed for the gateway's
+            lifetime; resizing would re-home signatures away from their
+            accumulated warm-start state).
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self.num_shards = int(num_shards)
+        self.shard_hits = [0] * self.num_shards
+        self.sticky_hits = 0
+        self.total = 0
+        self._seen: OrderedDict[str, int] = OrderedDict()
+
+    def shard_for(self, signature: str) -> int:
+        """The shard a signature routes to (pure, no counter updates)."""
+        return int(signature[:8], 16) % self.num_shards
+
+    def route(self, signature: str) -> int:
+        """Route one request: returns the shard index, updates counters."""
+        shard = self.shard_for(signature)
+        self.total += 1
+        self.shard_hits[shard] += 1
+        if signature in self._seen:
+            self.sticky_hits += 1
+            self._seen.move_to_end(signature)
+        else:
+            self._seen[signature] = shard
+            while len(self._seen) > MAX_TRACKED_SIGNATURES:
+                self._seen.popitem(last=False)
+        return shard
+
+    def distinct_signatures(self) -> int:
+        """Distinct signatures currently tracked (bounded)."""
+        return len(self._seen)
+
+    def snapshot(self) -> dict:
+        """Counter snapshot for the ``/metrics`` document."""
+        return {"num_shards": self.num_shards,
+                "requests": self.total,
+                "sticky_hits": self.sticky_hits,
+                "distinct_signatures": self.distinct_signatures(),
+                "shard_hits": list(self.shard_hits)}

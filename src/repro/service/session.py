@@ -51,7 +51,9 @@ free.
 
 from __future__ import annotations
 
+import multiprocessing
 import pickle
+import queue as queue_module
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -187,18 +189,56 @@ def _optimize_payload(payload: tuple) -> tuple[int, dict, dict, float]:
     return index, outcome, stats, elapsed
 
 
+def _live_event_emitter(run, events_queue):
+    """Per-event callback shipping the trail live over a result queue.
+
+    Each :class:`~repro.core.run.ProgressEvent` is forwarded the moment
+    it is emitted; ``rung_completed`` events additionally carry the
+    rung's encoded plan set so the session can attach a decoded set to
+    the event it yields (the same payload the serial path builds).  A
+    broken queue degrades to the replay-on-completion behavior — the
+    session recovers the missing tail from the outcome's event trail.
+    """
+    def on_event(event) -> None:
+        doc = {"event": event.as_dict()}
+        if event.kind == "rung_completed" and run.completed:
+            outcome = run.completed[-1]
+            doc["rung"] = {"doc": encode_result(outcome.result),
+                           "alpha": outcome.alpha,
+                           "guarantee": outcome.guarantee}
+        try:
+            events_queue.put(doc)
+        except Exception:
+            run.on_event = None
+    return on_event
+
+
 def _run_anytime(scenario, query: Query, resolution: int, options,
                  anytime: dict) -> tuple[dict, dict]:
     """Run an anytime precision ladder to its (cooperative) budget.
 
     The budget is enforced *inside* the run at step boundaries, so a
     pooled worker returns its best-so-far by itself — no cancellation,
-    no pool teardown.
+    no pool teardown.  When the payload carries a live-event queue
+    (``anytime["events"]``, a manager-queue proxy), every progress event
+    is also shipped through it as it happens, closing with a ``None``
+    sentinel — this is what makes pooled ``optimize_iter`` stream live
+    instead of replaying the trail on completion.
     """
+    events_queue = anytime.get("events")
     run = scenario.start_run(
         query, resolution=resolution, options=options,
         precision_ladder=tuple(anytime["ladder"]))
-    status = run.run(Budget.from_dict(anytime.get("budget")))
+    if events_queue is not None:
+        run.on_event = _live_event_emitter(run, events_queue)
+    try:
+        status = run.run(Budget.from_dict(anytime.get("budget")))
+    finally:
+        if events_queue is not None:
+            try:
+                events_queue.put(None)
+            except Exception:
+                pass
     rungs = [{"doc": encode_result(outcome.result),
               "alpha": outcome.alpha, "guarantee": outcome.guarantee}
              for outcome in run.completed]
@@ -317,6 +357,15 @@ class OptimizerSession:
         self._pool: ProcessPoolExecutor | None = None
         self._closed = False
         self._timed_out = False
+        #: Lazily started :func:`multiprocessing.Manager` providing the
+        #: live-event queues of pooled ``optimize_iter`` calls (``None``
+        #: until first use, ``False`` when manager start-up failed and
+        #: streaming falls back to replay-on-completion).
+        self._manager = None
+        #: Executor future of the most recent pooled ``optimize_iter``
+        #: (introspection hook: lets callers/tests observe that events
+        #: arrive while the worker is still running).
+        self._live_stream_future: Future | None = None
         #: Per-name shipping decision, keyed to the scenario instance it
         #: was made for: ``(scenario, scenario-or-None)`` — ``None``
         #: selects the by-name worker fallback for unpicklable entries.
@@ -366,6 +415,12 @@ class OptimizerSession:
         if self._closed:
             return
         self._closed = True
+        manager, self._manager = self._manager, None
+        if manager:
+            try:
+                manager.shutdown()
+            except Exception:
+                pass
         pool, self._pool = self._pool, None
         if pool is None:
             return
@@ -917,6 +972,116 @@ class OptimizerSession:
         return self._run_serial(0, signature, scenario_name, query,
                                 options=options, anytime=anytime)
 
+    # ------------------------------------------------------------------
+    # Live event streaming (pooled optimize_iter)
+    # ------------------------------------------------------------------
+
+    def _event_queue(self):
+        """A fresh manager queue for one live-streamed pooled run.
+
+        The manager process is started lazily on the first streaming
+        call and lives until :meth:`close`.  Returns ``None`` when the
+        manager cannot be started (constrained environments) — pooled
+        streaming then degrades to replaying the trail on completion,
+        which is the pre-live behavior.
+        """
+        if self._manager is None:
+            try:
+                self._manager = multiprocessing.Manager()
+            except Exception:
+                self._manager = False
+        if not self._manager:
+            return None
+        try:
+            return self._manager.Queue()
+        except Exception:
+            return None
+
+    def _decode_live_event(self, doc: dict, signature: str
+                           ) -> ProgressEvent:
+        """Rebuild one live-streamed event; feed the warm-start cache.
+
+        Mirrors the serial path: every completed rung's plan set goes
+        into the cache under its alpha tag the moment it exists, and the
+        ``rung_completed`` event carries the decoded set.
+        """
+        event = ProgressEvent.from_dict(doc["event"])
+        rung = doc.get("rung")
+        if rung is not None:
+            if self.warm_start:
+                self.cache.put(signature, rung["doc"],
+                               alpha=float(rung["alpha"]))
+            try:
+                event = replace(event,
+                                plan_set=decode_plan_set(rung["doc"]))
+            except Exception:
+                pass  # undecodable rung: ship the bare event
+        return event
+
+    def _optimize_iter_pooled(self, query: Query, scenario_name: str,
+                              ladder, budget: Budget | None, options,
+                              signature: str
+                              ) -> Iterator[ProgressEvent]:
+        """Stream a pooled ladder run's events *live*.
+
+        The worker ships every progress event through a per-run manager
+        queue as it is emitted (closing with a ``None`` sentinel), so
+        consumers see rung plan sets while later rungs are still
+        optimizing — previously the pooled path replayed the whole trail
+        only after the run finished.  Events the queue could not carry
+        (manager unavailable, proxy broken mid-run) are recovered from
+        the outcome's replay trail, so the consumer always sees the full
+        trail exactly once, in order.
+        """
+        events_queue = self._event_queue()
+        anytime = {"ladder": ladder,
+                   "budget": budget.as_dict() if budget else None}
+        if events_queue is not None:
+            anytime["events"] = events_queue
+        item_future, raw = self._submit_pooled(
+            0, signature, scenario_name, query, options=options,
+            anytime=anytime)
+        self._live_stream_future = raw
+        streamed = 0
+        if events_queue is not None:
+            finished = False
+            while not finished:
+                try:
+                    doc = events_queue.get(timeout=0.05)
+                except queue_module.Empty:
+                    if item_future.done():
+                        break
+                    continue
+                except Exception:
+                    break  # broken queue: recover from the replay trail
+                if doc is None:
+                    finished = True
+                    break
+                yield self._decode_live_event(doc, signature)
+                streamed += 1
+            # The worker finished (sentinel or resolved future); drain
+            # whatever raced in after the last blocking get.
+            while not finished:
+                try:
+                    doc = events_queue.get_nowait()
+                except Exception:
+                    break
+                if doc is None:
+                    break
+                yield self._decode_live_event(doc, signature)
+                streamed += 1
+        item = item_future.result()
+        if item.status == "error":
+            # The serial path propagates run failures to the consumer;
+            # an empty event stream must not masquerade as a (failed)
+            # completed ladder on the pooled path either.
+            raise OptimizationError(
+                f"anytime run failed in worker: {item.error}")
+        # Tail not delivered live (queue unavailable or broken mid-run):
+        # the replay trail is deterministic and ordered, so the suffix
+        # picks up exactly where the live stream stopped.
+        yield from item.events[streamed:]
+
     def optimize_iter(self, query: Query, *,
                       scenario: str | None = None,
                       precision_ladder=None,
@@ -932,10 +1097,12 @@ class OptimizerSession:
         rung's DP work (plan-cost memo + LP memo), so the ladder costs
         far less than independent runs.
 
-        On the serial path events stream live, step by step; a pooled
-        session runs the ladder in one worker task and replays the trail
-        on receipt (same events, delivered after the run finishes).  One
-        ``budget`` window spans the whole ladder.
+        Events stream live on both paths: serial runs yield step by
+        step, and a pooled session ships each event from its worker
+        through a per-run result queue as it is emitted (same events,
+        same order — consumers see coarse rungs while tighter rungs are
+        still optimizing).  One ``budget`` window spans the whole
+        ladder.
 
         Args:
             query: The query to optimize.
@@ -965,16 +1132,19 @@ class OptimizerSession:
                 plan_set=cached.plan_set)
             return
         if self.workers > 1:
-            item = self._optimize_anytime(query, scenario_name, None,
-                                          budget, ladder)
-            if item.status == "error":
-                # The serial path propagates run failures to the
-                # consumer; an empty event stream must not masquerade as
-                # a (failed) completed ladder on the pooled path either.
-                raise OptimizationError(
-                    f"anytime run failed in worker: {item.error}")
-            yield from item.events
+            yield from self._optimize_iter_pooled(query, scenario_name,
+                                                  ladder, budget, options,
+                                                  signature)
             return
+        yield from self._optimize_iter_serial(query, scenario_name,
+                                              ladder, budget, options,
+                                              signature)
+
+    def _optimize_iter_serial(self, query: Query, scenario_name: str,
+                              ladder, budget: Budget | None, options,
+                              signature: str
+                              ) -> Iterator[ProgressEvent]:
+        """Live in-process ladder run behind :meth:`optimize_iter`."""
         run = self.registry.get(scenario_name).start_run(
             query, resolution=self.resolution, options=options,
             precision_ladder=ladder)

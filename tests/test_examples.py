@@ -78,6 +78,15 @@ def test_streaming_service():
     assert "approx scenario: [ok]" in out
 
 
+def test_serving_gateway():
+    out = run_example("serving_gateway.py")
+    assert "Gateway up at http://" in out
+    assert "HTTP 429, retry after" in out
+    assert "guarantee=  1.00x" in out  # stream reached the exact rung
+    assert "[partial]" in out          # deadline returned a guarantee
+    assert "sticky_hits=" in out
+
+
 def test_anytime_service():
     out = run_example("anytime_service.py")
     assert "alpha=0.5" in out

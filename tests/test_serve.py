@@ -1,0 +1,351 @@
+"""Tests for the serving gateway (``repro.serve``).
+
+Covers the wire protocol (query round trips, request validation), the
+admission layer (tenant token buckets, capacity backpressure, drain),
+signature-affine routing, the end-to-end HTTP contract (one shared
+gateway: bit-identical plan sets vs. a direct session, deadline
+partials with guarantees, NDJSON streaming order, 4xx mapping,
+metrics counters) and graceful drain.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import OptimizerSession
+from repro.core import decode_plan_set, encode_plan_set, guarantee_bound
+from repro.query import QueryGenerator
+from repro.serve import (AdmissionController, GatewayClient,
+                         GatewayConfig, ProtocolError, SignatureRouter,
+                         TokenBucket, launch, parse_optimize_request,
+                         query_from_doc, query_to_doc)
+from repro.service.signature import query_signature
+
+
+def make_query(seed: int = 0, num_tables: int = 3):
+    return QueryGenerator(seed=seed).generate(num_tables, "chain", 1)
+
+
+def request_body(query, **fields) -> bytes:
+    doc = {"query": query_to_doc(query)}
+    doc.update(fields)
+    return json.dumps(doc).encode()
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+# ----------------------------------------------------------------------
+
+class TestProtocol:
+    def test_query_round_trip_preserves_signature(self):
+        for seed in range(4):
+            query = make_query(seed=seed, num_tables=4)
+            wire = json.loads(json.dumps(query_to_doc(query)))
+            rebuilt = query_from_doc(wire)
+            assert query_signature(rebuilt) == query_signature(query)
+
+    def test_round_trip_preserves_structure(self):
+        query = make_query(seed=2)
+        rebuilt = query_from_doc(query_to_doc(query))
+        assert rebuilt.tables == query.tables
+        assert rebuilt.join_predicates == query.join_predicates
+        assert rebuilt.parametric_predicates == \
+            query.parametric_predicates
+
+    def test_parse_full_request(self):
+        request = parse_optimize_request(request_body(
+            make_query(), tenant="team-a", precision=0.2,
+            budget={"seconds": 1.5, "lps": 100},
+            deadline_seconds=2.0, stream=True))
+        assert request.tenant == "team-a"
+        assert request.precision == 0.2
+        assert request.budget["lps"] == 100
+        assert request.deadline_seconds == 2.0
+        assert request.stream and request.anytime
+
+    def test_defaults(self):
+        request = parse_optimize_request(request_body(make_query()))
+        assert request.tenant == "default"
+        assert not request.stream and not request.anytime
+
+    @pytest.mark.parametrize("body", [
+        b"not json",
+        b"[]",
+        b'{"tenant": "t"}',
+        b'{"query": 42}',
+        b'{"query": {"tables": []}}',
+        b'{"query": {"tables": [{"name": "t"}]}}',
+    ])
+    def test_malformed_bodies_raise(self, body):
+        with pytest.raises(ProtocolError):
+            parse_optimize_request(body)
+
+    @pytest.mark.parametrize("fields", [
+        {"tenant": ""},
+        {"precision": -0.1},
+        {"precision": "fast"},
+        {"budget": {"parsecs": 12}},
+        {"budget": {"seconds": -1}},
+        {"budget": {"lps": "many"}},
+        {"deadline_seconds": 0},
+    ])
+    def test_invalid_fields_raise(self, fields):
+        with pytest.raises(ProtocolError):
+            parse_optimize_request(request_body(make_query(), **fields))
+
+
+# ----------------------------------------------------------------------
+# Admission
+# ----------------------------------------------------------------------
+
+class TestAdmission:
+    def test_token_bucket_burst_then_refill(self):
+        bucket = TokenBucket(rate=10.0, burst=3)
+        assert [bucket.try_acquire(0.0) for _ in range(3)] == [0.0] * 3
+        wait = bucket.try_acquire(0.0)
+        assert wait == pytest.approx(0.1)
+        # After the advertised wait a token is available again.
+        assert bucket.try_acquire(wait) == 0.0
+
+    def test_tenant_isolation(self):
+        controller = AdmissionController(tenant_rate=1.0,
+                                         tenant_burst=2,
+                                         max_pending=100,
+                                         clock=lambda: 0.0)
+        assert controller.admit("a", now=0.0).admitted
+        assert controller.admit("a", now=0.0).admitted
+        blocked = controller.admit("a", now=0.0)
+        assert blocked.decision == "rate" and blocked.retry_after > 0
+        # Tenant b has its own bucket.
+        assert controller.admit("b", now=0.0).admitted
+
+    def test_capacity_bound_and_release(self):
+        controller = AdmissionController(tenant_rate=1000.0,
+                                         tenant_burst=1000,
+                                         max_pending=2,
+                                         clock=lambda: 0.0)
+        assert controller.admit("a").admitted
+        assert controller.admit("a").admitted
+        shed = controller.admit("b")
+        assert shed.decision == "capacity" and shed.retry_after > 0
+        controller.release()
+        assert controller.admit("b").admitted
+
+    def test_draining_rejects_everything(self):
+        controller = AdmissionController(tenant_rate=1000.0,
+                                         tenant_burst=1000,
+                                         max_pending=10)
+        controller.draining = True
+        assert controller.admit("a").decision == "draining"
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+
+class TestRouter:
+    def test_routing_is_deterministic_and_sticky(self):
+        router = SignatureRouter(4)
+        signatures = [query_signature(make_query(seed=s, num_tables=4))
+                      for s in range(8)]
+        first = [router.route(sig) for sig in signatures]
+        second = [router.route(sig) for sig in signatures]
+        assert first == second
+        assert router.sticky_hits == len(signatures)
+        assert sum(router.shard_hits) == 2 * len(signatures)
+        assert router.distinct_signatures() == len(signatures)
+
+    def test_single_shard(self):
+        router = SignatureRouter(1)
+        assert router.route("deadbeef00") == 0
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            SignatureRouter(0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end gateway
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def gateway():
+    """One 2-shard gateway shared by the end-to-end tests."""
+    handle = launch(GatewayConfig(
+        shards=2, tenant_rate=1000.0, tenant_burst=1000.0,
+        max_pending=32))
+    try:
+        yield handle
+    finally:
+        handle.close()
+
+
+@pytest.fixture(scope="module")
+def client(gateway):
+    return GatewayClient(gateway.host, gateway.port, timeout=120.0)
+
+
+class TestGatewayEndToEnd:
+    def test_health(self, client):
+        doc = client.health()
+        assert doc["status"] == "ok" and doc["shards"] == 2
+
+    def test_served_plan_set_bit_identical_to_direct(self, client):
+        query = make_query(seed=11)
+        response = client.optimize(query, tenant="identity")
+        assert response.status_code == 200
+        assert response.doc["status"] in ("ok", "cached")
+        with OptimizerSession("cloud") as session:
+            direct = session.optimize(query)
+        assert json.dumps(response.doc["plan_set"], sort_keys=True) == \
+            json.dumps(encode_plan_set(direct.plan_set), sort_keys=True)
+        # And the document decodes into a selectable plan set.
+        stored = decode_plan_set(response.doc["plan_set"])
+        plan, cost = stored.select([0.5], {"time": 1.0})
+        assert cost["time"] > 0
+
+    def test_repeat_signature_sticks_to_one_shard_and_caches(self,
+                                                             client):
+        query = make_query(seed=12)
+        first = client.optimize(query, tenant="sticky")
+        second = client.optimize(query, tenant="sticky")
+        assert first.doc["status"] in ("ok", "cached")
+        assert second.doc["status"] == "cached"
+        assert second.doc["shard"] == first.doc["shard"]
+
+    def test_deadline_expiry_returns_partial_with_guarantee(self,
+                                                            client):
+        query = make_query(seed=13, num_tables=5)
+        response = client.optimize(query, tenant="deadline",
+                                   budget={"lps": 150})
+        assert response.status_code == 200
+        doc = response.doc
+        assert doc["status"] == "partial"
+        assert doc["alpha"] > 0
+        num_tables = len(query.tables)
+        assert doc["guarantee"] == pytest.approx(
+            guarantee_bound(doc["alpha"], num_tables))
+        assert decode_plan_set(doc["plan_set"]).entries
+
+    def test_stream_order_and_done_line(self, client):
+        query = make_query(seed=14)
+        lines = list(client.stream_optimize(query, tenant="stream"))
+        kinds = [line["kind"] for line in lines]
+        assert kinds[0] == "rung_started"
+        assert kinds[-1] == "done"
+        assert lines[-1]["status"] == "ok"
+        rung_completions = [line for line in lines
+                            if line["kind"] == "rung_completed"]
+        assert rung_completions
+        # Rungs tighten monotonically and each carries a plan set.
+        alphas = [line["alpha"] for line in rung_completions]
+        assert alphas == sorted(alphas, reverse=True)
+        for line in rung_completions:
+            assert decode_plan_set(line["plan_set"]).entries
+        # Stream events interleave per rung: every completion's rung
+        # index matches its preceding rung_started.
+        assert lines[-1]["alpha"] == alphas[-1]
+
+    def test_streamed_final_rung_matches_single_response(self, client):
+        query = make_query(seed=15)
+        lines = list(client.stream_optimize(query, tenant="stream"))
+        final = [line for line in lines
+                 if line["kind"] == "rung_completed"][-1]
+        response = client.optimize(query, tenant="stream")
+        assert response.doc["status"] == "cached"
+        assert json.dumps(final["plan_set"], sort_keys=True) == \
+            json.dumps(response.doc["plan_set"], sort_keys=True)
+
+    def test_tenant_over_budget_gets_429_with_retry_after(self,
+                                                          gateway):
+        # Separate gateway config knobs would race the shared fixture's
+        # generous buckets, so drive the admission path directly
+        # through a tight per-tenant bucket on a second gateway.
+        with launch(GatewayConfig(shards=1, tenant_rate=0.5,
+                                  tenant_burst=2)) as strict:
+            client = GatewayClient(strict.host, strict.port,
+                                   timeout=120.0)
+            query = make_query(seed=16)
+            codes = [client.optimize(query, tenant="greedy").status_code
+                     for _ in range(3)]
+            assert codes[:2] == [200, 200]
+            assert codes[2] == 429
+            response = client.optimize(query, tenant="greedy")
+            assert response.retry_after is not None
+            assert response.retry_after > 0
+            # An unrelated tenant is unaffected.
+            assert client.optimize(query,
+                                   tenant="patient").status_code == 200
+            metrics = client.metrics()
+            assert metrics["tenants"]["greedy"]["rejected_rate"] == 2
+            assert metrics["tenants"]["patient"]["rejected_rate"] == 0
+
+    @pytest.mark.parametrize("method,path,body,expected", [
+        ("POST", "/v1/optimize", b"not json", 400),
+        ("POST", "/v1/optimize", b'{"tenant": "x"}', 400),
+        ("GET", "/v1/optimize", b"", 405),
+        ("POST", "/metrics", b"", 405),
+        ("GET", "/nope", b"", 404),
+    ])
+    def test_http_error_mapping(self, client, method, path, body,
+                                expected):
+        response = client._request(method, path, body or None)
+        assert response.status_code == expected
+        assert "error" in response.doc
+
+    def test_malformed_counted_against_tenant(self, client):
+        client._request("POST", "/v1/optimize",
+                        b'{"tenant": "sloppy", "query": 42}')
+        metrics = client.metrics()
+        assert metrics["tenants"]["sloppy"]["malformed"] >= 1
+
+    def test_metrics_shape(self, client):
+        metrics = client.metrics()
+        assert metrics["routing"]["num_shards"] == 2
+        assert len(metrics["shards"]) == 2
+        assert sum(metrics["routing"]["shard_hits"]) == \
+            metrics["routing"]["requests"]
+        totals = metrics["totals"]
+        assert totals["completed"] <= totals["admitted"]
+        assert metrics["latency"]["total"] >= totals["completed"]
+        assert metrics["qps"] > 0
+
+
+class TestGracefulDrain:
+    def test_drain_finishes_in_flight_then_rejects_new(self):
+        with launch(GatewayConfig(shards=1, tenant_rate=1000.0,
+                                  tenant_burst=1000.0)) as handle:
+            client = GatewayClient(handle.host, handle.port,
+                                   timeout=120.0)
+            query = make_query(seed=17, num_tables=5)
+            results = {}
+
+            def run():
+                results["inflight"] = client.optimize(query,
+                                                      tenant="drainer")
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            # Wait until the request is admitted, then start draining.
+            deadline = time.monotonic() + 30.0
+            while handle.gateway.admission.pending == 0:
+                if time.monotonic() > deadline:  # pragma: no cover
+                    pytest.fail("request never admitted")
+                time.sleep(0.005)
+            drained = handle.drain(timeout=120.0)
+            thread.join(timeout=120.0)
+            assert drained
+            # The in-flight request completed normally...
+            assert results["inflight"].status_code == 200
+            assert results["inflight"].doc["status"] in ("ok", "cached")
+            # ...and new work is refused with 503.
+            rejected = client.optimize(query, tenant="drainer")
+            assert rejected.status_code == 503
+            assert client.health()["status"] == "draining"
+            metrics = client.metrics()
+            assert metrics["tenants"]["drainer"]["rejected_draining"] \
+                == 1

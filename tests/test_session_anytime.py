@@ -197,6 +197,67 @@ class TestOptimizeIter:
                 == [(e.alpha, e.plan_count) for e in live_rungs])
         assert all(e.plan_set is not None for e in replay_rungs)
 
+    def test_pooled_events_arrive_before_run_finishes(self):
+        """Regression: pooled optimize_iter streams live, not replayed.
+
+        The first events must be delivered while the worker task is
+        still executing — before the live-queue fix the whole trail was
+        replayed only after the pooled run finished.
+        """
+        query = make_query(seed=3, num_tables=4)
+        ladder = (0.5, 0.2, 0.0)
+        with OptimizerSession("cloud", workers=2,
+                              warm_start=False) as session:
+            iterator = session.optimize_iter(query,
+                                             precision_ladder=ladder)
+            first = next(iterator)
+            assert first.kind == "rung_started"
+            raw = session._live_stream_future
+            assert raw is not None
+            # The run has three rungs of DP work ahead of it; receiving
+            # the opening event after completion (the replay behavior)
+            # would find the future already resolved here.
+            assert not raw.done()
+            events = [first]
+            in_flight_rung_done = False
+            for event in iterator:
+                if event.kind == "rung_completed" and not raw.done():
+                    in_flight_rung_done = True
+                events.append(event)
+            # At least one completed rung streamed out mid-run (the
+            # coarse rungs finish long before the exact one).
+            assert in_flight_rung_done
+        # Liveness must not change the trail: same events as serial.
+        with OptimizerSession("cloud", warm_start=False) as serial:
+            live = list(serial.optimize_iter(query,
+                                             precision_ladder=ladder))
+        assert [e.kind for e in events] == [e.kind for e in live]
+        assert ([(e.rung, e.alpha, e.plan_count) for e in events]
+                == [(e.rung, e.alpha, e.plan_count) for e in live])
+        pooled_rungs = [e for e in events if e.kind == "rung_completed"]
+        assert all(e.plan_set is not None for e in pooled_rungs)
+
+    def test_pooled_live_stream_feeds_warm_start_cache(self):
+        """Each completed rung is cached under its alpha tag as it
+        streams (the serial contract), not only at run end."""
+        query = make_query(seed=3, num_tables=3)
+        cache = WarmStartCache()
+        with OptimizerSession("cloud", workers=2,
+                              cache=cache) as session:
+            iterator = session.optimize_iter(query,
+                                             precision_ladder=(0.5, 0.0))
+            for event in iterator:
+                if event.kind == "rung_completed" and event.alpha > 0:
+                    break  # abandon mid-stream after the coarse rung
+            # The coarse rung made it into the cache (tagged with its
+            # alpha) even though the iterator was dropped before the
+            # exact rung finished.
+            signature = session._signature(
+                query, "cloud", options=session._anytime_options(0.0))
+            entry = cache.get_entry(signature)
+        assert entry is not None
+        assert entry[1] == 0.5
+
     def test_budget_spans_whole_ladder(self):
         query = make_query(seed=13)
         with OptimizerSession("cloud", warm_start=False) as session:
