@@ -38,6 +38,7 @@ family from the refresh silently removes its gates)::
         --json bench-anytime-approx.json
     python benchmarks/bench_lp_kernels.py --json bench-lp-kernels.json
     python benchmarks/bench_serving.py --json bench-serving.json
+    python benchmarks/bench_store.py --json bench-store.json
     python benchmarks/bench_compare.py refresh \
         --baseline benchmarks/baselines/bench-smoke.json \
         --fig12 bench-fig12-chain.json --ablation bench-ablation.json \
@@ -45,7 +46,8 @@ family from the refresh silently removes its gates)::
         bench-topology-star.json \
         --anytime bench-anytime-cloud.json bench-anytime-approx.json \
         --lpkernels bench-lp-kernels.json \
-        --serving bench-serving.json
+        --serving bench-serving.json \
+        --store bench-store.json
 
 PRs labeled ``perf-regression-ok`` skip the CI gate (see README).
 """
@@ -299,6 +301,64 @@ def _serving_metrics(path: str) -> dict[str, dict]:
     return metrics
 
 
+def _store_metrics(path: str) -> dict[str, dict]:
+    """Tracked metrics from the plan-set store benchmark JSON.
+
+    The store bench replays recurring query families with drifting
+    statistics (CRC-seeded, so every counter is deterministic).  Three
+    absolute floors ride on top of the usual relative gates, with the
+    same semantics as ``lp.median_stacked_group_size``:
+
+    * ``store.hit_rate`` (floor 1.0) — a repeated identical query must
+      *always* be an exact store hit; any miss means the persistent
+      tier stopped answering;
+    * ``store.lp_speedup`` (floor 2.0) — the headline warm-start claim:
+      seeded runs reach their first ``alpha <= 0.05`` guarantee in at
+      most half the cold run's LPs, as the geometric mean of the
+      per-family speedups (the arithmetic sum ratio is tracked
+      separately as ``store.lp_speedup_sum``); each family also floors
+      at 1.0 — warm-starting must never make a family *slower*;
+    * ``store.all_identical`` (floor 1.0) — every seeded run's final
+      exact plan set is bit-identical to a cold run's; 0.0 the moment
+      seeding contaminates an exact result.
+    """
+    report = _load(path)
+    metrics: dict[str, dict] = {}
+    for row in report.get("families", []):
+        tag = (f"store.{row['scenario']}.{row['shape']}"
+               f".t{row['num_tables']}")
+        metrics[f"{tag}.cold_first_lps"] = {
+            "value": row["cold_first_lps"], "direction": "lower",
+            "tolerance": DEFAULT_TOLERANCE, "gate": True}
+        metrics[f"{tag}.warm_first_lps"] = {
+            "value": row["warm_first_lps"], "direction": "lower",
+            "tolerance": DEFAULT_TOLERANCE, "gate": True}
+        metrics[f"{tag}.lp_speedup"] = {
+            "value": row["lp_speedup"], "direction": "higher",
+            "tolerance": DEFAULT_TOLERANCE, "gate": True, "floor": 1.0}
+        for name in ("cold_first_seconds", "warm_first_seconds"):
+            metrics[f"{tag}.{name}"] = {
+                "value": row[name], "direction": "lower",
+                "tolerance": DEFAULT_TOLERANCE, "gate": False}
+    metrics["store.hit_rate"] = {
+        "value": report["hit_rate"], "direction": "higher",
+        "tolerance": DEFAULT_TOLERANCE, "gate": True, "floor": 1.0}
+    metrics["store.seed_hit_rate"] = {
+        "value": report["seed_hit_rate"], "direction": "higher",
+        "tolerance": DEFAULT_TOLERANCE, "gate": True, "floor": 1.0}
+    metrics["store.lp_speedup"] = {
+        "value": report["lp_speedup"], "direction": "higher",
+        "tolerance": DEFAULT_TOLERANCE, "gate": True, "floor": 2.0}
+    metrics["store.lp_speedup_sum"] = {
+        "value": report["lp_speedup_sum"], "direction": "higher",
+        "tolerance": DEFAULT_TOLERANCE, "gate": True, "floor": 1.5}
+    metrics["store.all_identical"] = {
+        "value": 1.0 if report["all_identical"] else 0.0,
+        "direction": "higher", "tolerance": 0.0, "gate": True,
+        "floor": 1.0}
+    return metrics
+
+
 def _throughput_metrics(path: str) -> dict[str, dict]:
     """Tracked metrics from the throughput harness JSON (informational:
     queries/second on shared runners is too noisy to gate)."""
@@ -335,6 +395,8 @@ def collect_metrics(args) -> dict[str, dict]:
         metrics.update(_lp_kernel_metrics(args.lpkernels))
     if args.serving:
         metrics.update(_serving_metrics(args.serving))
+    if args.store:
+        metrics.update(_store_metrics(args.store))
     if not metrics:
         raise SystemExit("no tracked metrics found in the given artifacts")
     return metrics
@@ -450,6 +512,9 @@ def main() -> int:
     parser.add_argument("--serving", default=None,
                         help="serving-gateway benchmark JSON "
                              "(bench_serving.py --json)")
+    parser.add_argument("--store", default=None,
+                        help="plan-set store benchmark JSON "
+                             "(bench_store.py --json)")
     parser.add_argument("--allow-regression", action="store_true",
                         help="report regressions but exit 0 (local "
                              "experimentation)")

@@ -1,0 +1,208 @@
+"""Recurring-workload benchmark for the persistent plan-set store.
+
+Serving systems see the *same query families* again and again with
+slowly drifting statistics.  This benchmark replays that pattern
+against :class:`repro.store.PlanSetStore` and measures what the store
+buys:
+
+* **hit rate** — a second appearance of an identical query is an
+  exact-signature store hit (no optimizer run at all);
+* **seeded warm starts** — a drifted family member (same structure,
+  perturbed statistics) is a near miss: the store's nearest-neighbor
+  lookup seeds the run, which then jumps the precision ladder straight
+  to the tight rungs.  Reported as LPs-and-seconds-to-first-guarantee,
+  warm (seeded) vs. cold, where "first guarantee" is the first
+  completed rung at ``alpha <= 0.05`` (the seeded jump point).  The
+  headline aggregate is the *geometric mean* of the per-family LP
+  speedups (the standard aggregate for normalized ratios — the
+  arithmetic sum ratio, also reported, is dominated by whichever family
+  solves the most LPs);
+* **seed repair** — the final exact rung re-runs the full DP, so the
+  warm run's exact plan set must be *bit-identical* to a cold run's
+  (checked per variant, under both built-in scenarios).
+
+Workloads are CRC-seeded (see :func:`repro.bench.stable_seed`), so the
+LP counters are machine-independent and join the gated CI baseline via
+``bench_compare.py --store`` — including an absolute floor on the
+hit rate and on the aggregate warm-start LP speedup.
+
+Run standalone (prints the table, optionally dumps JSON)::
+
+    python benchmarks/bench_store.py --json bench-store.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+
+from repro.api import (Budget, OptimizerSession, PlanSetStore,
+                       WarmStartCache, encode_plan_set)
+from repro.bench import drift_statistics, stable_seed
+from repro.core import SEED_JUMP_ALPHA
+from repro.query import QueryGenerator
+
+#: Recurring families of the smoke profile: (tables, shape, scenario,
+#: drifted variants).  The 5-table chain dominates the LP totals — it
+#: is what makes the sum-ratio speedup representative of real ladder
+#: runs rather than of tiny toy queries.  Three variants per family
+#: exercise the accumulation effect: later recurrences find *nearer*
+#: neighbors (the previous variant's exact set, not just the base's),
+#: so their seeds prune better.
+SMOKE_FAMILIES = (
+    (4, "star", "cloud", 3),
+    (5, "chain", "cloud", 3),
+    (3, "star", "approx", 3),
+)
+
+#: One cooperative budget spanning every ladder run (effectively
+#: unbounded — the benchmark measures counters, not interruptions).
+BUDGET = Budget(seconds=1e9)
+
+
+def family_queries(num_tables: int, shape: str, scenario: str,
+                   variants: int):
+    """The base query of a family plus its drifted recurrences."""
+    tag = f"store:{num_tables}:{shape}:{scenario}"
+    base = QueryGenerator(seed=stable_seed(tag)).generate(
+        num_tables=num_tables, shape=shape, num_params=1)
+    drifted = [drift_statistics(base, seed=stable_seed(f"{tag}:v{i}"))
+               for i in range(variants)]
+    return base, drifted
+
+
+def ladder_run(session, query, scenario: str,
+               jump_alpha: float = SEED_JUMP_ALPHA):
+    """One full ladder run; returns first-guarantee + total counters.
+
+    ``first_*`` counters are taken at the first completed rung with
+    ``alpha <= jump_alpha`` — the tightest approximate rung, i.e. the
+    same alpha a seeded (trimmed-ladder) run starts at, so warm and
+    cold first-guarantee numbers compare like for like.
+    """
+    first_lps = first_seconds = None
+    final_doc = None
+    total_lps = 0.0
+    for event in session.optimize_iter(query, scenario=scenario,
+                                       budget=BUDGET):
+        if event.kind != "rung_completed":
+            continue
+        total_lps = event.lps_solved
+        if first_lps is None and event.alpha <= jump_alpha + 1e-12:
+            first_lps, first_seconds = event.lps_solved, event.seconds
+        if event.plan_set is not None:
+            final_doc = encode_plan_set(event.plan_set)
+    return {"first_lps": first_lps, "first_seconds": first_seconds,
+            "total_lps": total_lps, "final_doc": final_doc}
+
+
+def run_store_benchmark(families=SMOKE_FAMILIES) -> dict:
+    report = {"jump_alpha": SEED_JUMP_ALPHA, "families": [],
+              "hits": 0, "lookups": 0, "seed_hits": 0, "seed_lookups": 0}
+    store = PlanSetStore()
+    for num_tables, shape, scenario, variants in families:
+        base, drifted = family_queries(num_tables, shape, scenario,
+                                       variants)
+        row = {"scenario": scenario, "shape": shape,
+               "num_tables": num_tables, "variants": variants,
+               "cold_first_lps": 0.0, "warm_first_lps": 0.0,
+               "cold_first_seconds": 0.0, "warm_first_seconds": 0.0,
+               "cold_total_lps": 0.0, "warm_total_lps": 0.0,
+               "identical": True}
+        # Pass 1 — first appearances.  The base lands cold and is
+        # persisted; every drifted recurrence finds it as a same-family
+        # near miss and runs seeded on the trimmed ladder.
+        with OptimizerSession(scenario,
+                              cache=WarmStartCache(store=store)) as warm:
+            ladder_run(warm, base, scenario)
+            for query in drifted:
+                measured = ladder_run(warm, query, scenario)
+                row["warm_first_lps"] += measured["first_lps"]
+                row["warm_first_seconds"] += measured["first_seconds"]
+                row["warm_total_lps"] += measured["total_lps"]
+                with OptimizerSession(scenario) as cold:
+                    reference = ladder_run(cold, query, scenario)
+                row["cold_first_lps"] += reference["first_lps"]
+                row["cold_first_seconds"] += reference["first_seconds"]
+                row["cold_total_lps"] += reference["total_lps"]
+                if measured["final_doc"] != reference["final_doc"]:
+                    row["identical"] = False
+            report["seed_hits"] += warm.store_seed_hits
+            report["seed_lookups"] += (warm.store_seed_hits
+                                       + warm.store_seed_misses
+                                       - 1)  # the base's expected miss
+        # Pass 2 — recurrences with unchanged statistics.  A fresh
+        # session (empty memory tier) must answer every family member
+        # straight from the store.
+        with OptimizerSession(scenario,
+                              cache=WarmStartCache(store=store)) as repeat:
+            for query in (base, *drifted):
+                item = repeat.optimize(query, precision=0.0,
+                                       budget=BUDGET)
+                report["lookups"] += 1
+                report["hits"] += int(item.status == "cached")
+        row["lp_speedup"] = (row["cold_first_lps"]
+                             / max(1.0, row["warm_first_lps"]))
+        report["families"].append(row)
+    report["store"] = store.snapshot()
+    store.close()
+    report["hit_rate"] = report["hits"] / max(1, report["lookups"])
+    report["seed_hit_rate"] = (report["seed_hits"]
+                               / max(1, report["seed_lookups"]))
+    report["cold_first_lps"] = sum(f["cold_first_lps"]
+                                   for f in report["families"])
+    report["warm_first_lps"] = sum(f["warm_first_lps"]
+                                   for f in report["families"])
+    report["lp_speedup_sum"] = (report["cold_first_lps"]
+                                / max(1.0, report["warm_first_lps"]))
+    report["lp_speedup"] = math.exp(
+        sum(math.log(f["lp_speedup"]) for f in report["families"])
+        / max(1, len(report["families"])))
+    report["all_identical"] = all(f["identical"]
+                                  for f in report["families"])
+    return report
+
+
+def format_report(report: dict) -> str:
+    lines = [f"{'family':24}  {'cold LPs':>9}  {'warm LPs':>9}  "
+             f"{'lp-x':>5}  {'cold s':>7}  {'warm s':>7}  identical"]
+    for row in report["families"]:
+        tag = (f"{row['scenario']}.{row['shape']}"
+               f".t{row['num_tables']}v{row['variants']}")
+        lines.append(
+            f"{tag:24}  {row['cold_first_lps']:9.0f}  "
+            f"{row['warm_first_lps']:9.0f}  {row['lp_speedup']:5.2f}  "
+            f"{row['cold_first_seconds']:7.2f}  "
+            f"{row['warm_first_seconds']:7.2f}  {row['identical']}")
+    lines.append(
+        f"\nfirst-guarantee (alpha <= {report['jump_alpha']:g}) LPs: "
+        f"cold {report['cold_first_lps']:.0f} vs warm "
+        f"{report['warm_first_lps']:.0f} "
+        f"({report['lp_speedup_sum']:.2f}x sum ratio, "
+        f"{report['lp_speedup']:.2f}x geo-mean over families)")
+    lines.append(
+        f"store hit rate {report['hit_rate']:.0%} "
+        f"({report['hits']}/{report['lookups']}), seed hit rate "
+        f"{report['seed_hit_rate']:.0%} ({report['seed_hits']}/"
+        f"{report['seed_lookups']}), all exact sets identical: "
+        f"{report['all_identical']}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the full report as JSON to this path")
+    args = parser.parse_args()
+    report = run_store_benchmark()
+    print(format_report(report))
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"\nwrote {os.path.abspath(args.json_path)}")
+
+
+if __name__ == "__main__":
+    main()

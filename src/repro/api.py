@@ -45,6 +45,18 @@ routing and live NDJSON progress streams::
         response = client.optimize(query, tenant="team-a",
                                    deadline_seconds=2.0)
 
+Plan sets survive process restarts through the :class:`PlanSetStore`
+persistent tier — a single SQLite file shared by every session or
+gateway shard pointed at it::
+
+    from repro.api import OptimizerSession, PlanSetStore, WarmStartCache
+
+    store = PlanSetStore("plans.db")
+    with OptimizerSession("cloud",
+                          cache=WarmStartCache(store=store)) as session:
+        session.optimize(query)   # miss → optimize → persisted
+    # next process: exact hit, or near-miss seeding of a similar query
+
 For one-off scripts, :func:`optimize_query` optimizes a single query
 under a named scenario without session ceremony.
 """
@@ -64,7 +76,10 @@ from .service.registry import (Scenario, ScenarioRegistry,
                                available_scenarios, default_registry,
                                get_scenario, register_scenario)
 from .service.session import STATUSES, BatchItem, OptimizerSession
-from .service.signature import query_signature, signature_document
+from .service.signature import (family_digest, query_signature,
+                                signature_document, signature_features,
+                                statistics_digest)
+from .store import PlanSetStore, StoreCounters
 
 __all__ = [
     "Budget",
@@ -77,16 +92,19 @@ __all__ = [
     "OptimizationRun",
     "OptimizerSession",
     "PWLRRPAOptions",
+    "PlanSetStore",
     "ProgressEvent",
     "Scenario",
     "ScenarioRegistry",
     "ServingGateway",
+    "StoreCounters",
     "StoredPlanSet",
     "WarmStartCache",
     "available_scenarios",
     "decode_plan_set",
     "default_registry",
     "encode_plan_set",
+    "family_digest",
     "get_scenario",
     "guarantee_bound",
     "ladder_to",
@@ -95,6 +113,8 @@ __all__ = [
     "query_signature",
     "register_scenario",
     "signature_document",
+    "signature_features",
+    "statistics_digest",
 ]
 
 

@@ -13,10 +13,12 @@ provided: ``QUICK`` (used by the pytest-benchmark suite) and ``FULL``
 
 from __future__ import annotations
 
+import random
 import zlib
 from dataclasses import dataclass
 
-from ..query import Query, QueryGenerator
+from ..catalog import Catalog, Column, Index, Table
+from ..query import JoinPredicate, Query, QueryGenerator
 
 
 @dataclass(frozen=True)
@@ -107,3 +109,46 @@ def queries_for_point(point: SweepPoint, count: int,
             num_tables=point.num_tables, shape=point.shape,
             num_params=point.num_params))
     return queries
+
+
+def stable_seed(tag: str) -> int:
+    """CRC32-derived seed for a workload tag (see queries_for_point)."""
+    return zlib.crc32(tag.encode("ascii")) & 0x7FFFFFFF
+
+
+def drift_statistics(query: Query, seed: int,
+                     magnitude: float = 0.15) -> Query:
+    """The same query structure with perturbed statistics.
+
+    Models a *recurring* query whose underlying data has changed
+    between appearances: tables, join graph, parametric predicates and
+    indexes — everything the structural family digest hashes — stay
+    fixed, while cardinalities, distinct counts and join selectivities
+    are scaled by up to ``magnitude``.  The result is a near miss for
+    the plan-set store: a different exact signature in the same family,
+    eligible for similar-query warm-start seeding.
+    """
+    rng = random.Random(seed)
+    tables = []
+    for name in query.catalog.table_names():
+        table = query.catalog.table(name)
+        factor = 1.0 + rng.uniform(-magnitude, magnitude)
+        cardinality = max(1, int(table.cardinality * factor))
+        columns = tuple(
+            Column(column.name,
+                   max(1, min(cardinality,
+                              int(column.distinct_values * factor))),
+                   column.width_bytes)
+            for column in table.columns)
+        tables.append(Table(name, cardinality, columns))
+    catalog = Catalog.from_tables(
+        tables, [Index(index.table_name, index.column_name)
+                 for index in query.catalog.indexes])
+    joins = tuple(
+        JoinPredicate(p.left_table, p.left_column, p.right_table,
+                      p.right_column,
+                      min(1.0, p.selectivity
+                          * (1.0 + rng.uniform(-magnitude, magnitude))))
+        for p in query.join_predicates)
+    return Query(catalog, query.tables, joins,
+                 query.parametric_predicates)

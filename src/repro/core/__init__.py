@@ -21,19 +21,21 @@ from .grid import GridBackend, GridCost, GridRegion, make_grid
 from .pwl_backend import PWLBackend, PWLRRPAOptions
 from .pwl_rrpa import PWLRRPA, optimize_cloud_query
 from .rrpa import RRPA, OptimizationResult, optimize_with
-from .run import (DEFAULT_PRECISION_LADDER, RUN_COMPLETED, RUN_EXHAUSTED,
-                  RUN_RUNG_DONE, RUN_STOPPED, Budget, OptimizationRun,
-                  ProgressEvent, RungOutcome, guarantee_bound, ladder_to,
+from .run import (DEFAULT_PRECISION_LADDER, DEFAULT_SEED_CAP, RUN_COMPLETED,
+                  RUN_EXHAUSTED, RUN_RUNG_DONE, RUN_STOPPED, SEED_JUMP_ALPHA,
+                  Budget, OptimizationRun, ProgressEvent, RungOutcome,
+                  guarantee_bound, ladder_to, trim_ladder_for_seed,
                   validate_ladder)
 from .selection import PlanSelector, SelectedPlan
-from .serialize import (StoredPlanSet, decode_plan_set,
-                        encode_plan_set, encode_result, load_plan_set,
-                        save_result)
+from .serialize import (StoredPlanSet, decode_plan, decode_plan_set,
+                        encode_plan, encode_plan_set, encode_result,
+                        load_plan_set, save_result)
 from .stats import OptimizerStats
 
 __all__ = [
     "Budget",
     "DEFAULT_PRECISION_LADDER",
+    "DEFAULT_SEED_CAP",
     "GridBackend",
     "GridCost",
     "GridRegion",
@@ -53,10 +55,13 @@ __all__ = [
     "RUN_RUNG_DONE",
     "RUN_STOPPED",
     "RungOutcome",
+    "SEED_JUMP_ALPHA",
     "SelectedPlan",
     "StoredPlanSet",
     "count_considered_splits",
+    "decode_plan",
     "decode_plan_set",
+    "encode_plan",
     "encode_plan_set",
     "encode_result",
     "guarantee_bound",
@@ -68,4 +73,5 @@ __all__ = [
     "save_result",
     "splits",
     "subsets_in_size_order",
+    "trim_ladder_for_seed",
 ]

@@ -186,19 +186,23 @@ class RRPA:
                    chunk_size=self.PRUNE_CHUNK)
 
     def start_run(self, query: Query, *, precision_ladder=None,
-                  on_event=None):
+                  on_event=None, seed_plans=None):
         """Create a resumable :class:`~repro.core.run.OptimizationRun`.
 
         ``precision_ladder=None`` runs a single rung at the backend's
         configured approximation factor (any backend); multi-rung
         ladders require backend support for
         :meth:`~repro.core.backend.RRPABackend.set_approximation_factor`.
+        ``seed_plans`` warm-starts the first (coarse) rung from a
+        similar query's plan set; see
+        :class:`~repro.core.run.OptimizationRun`.
         """
         from .run import OptimizationRun
         return OptimizationRun(self.backend, query,
                                precision_ladder=precision_ladder,
                                on_event=on_event,
-                               prune_chunk=self.PRUNE_CHUNK)
+                               prune_chunk=self.PRUNE_CHUNK,
+                               seed_plans=seed_plans)
 
     def optimize(self, query: Query) -> OptimizationResult:
         """Compute a Pareto plan set for ``query``.

@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..errors import OptimizationError
-from ..plans import ScanPlan, combine
+from ..plans import JoinPlan, Plan, ScanPlan, combine
 from ..query import Query
 from .backend import RRPABackend
 from .enumeration import splits, subsets_in_size_order
@@ -46,6 +46,20 @@ from .stats import OptimizerStats
 #: Default precision ladder for anytime optimization: coarse rungs finish
 #: fast (guaranteed plan sets early), the last rung is exact.
 DEFAULT_PRECISION_LADDER = (0.5, 0.2, 0.05, 0.0)
+
+#: Default for :attr:`OptimizationRun.seed_cap`: seed subtrees inserted
+#: per DP table set when warm-starting from a similar query's plan set.
+#: Inserting into an empty entry list costs no LPs, so one seed per
+#: table set gets a near-optimal incumbent in place essentially free.
+#: ``seed_cap = None`` adopts the neighbor's *whole* frontier instead:
+#: installation costs roughly one dominance chunk per seed (quadratic
+#: in the seeds kept), but a complete frontier lets weak candidates die
+#: on their first dominance chunk — measured as a clear win only when
+#: the rung's enumeration is expensive enough to amortize it, which is
+#: why sessions choose the breadth from the neighbor's recorded repair
+#: cost (see :mod:`repro.service.session`).  Partial breadths in
+#: between are the worst of both and are never chosen automatically.
+DEFAULT_SEED_CAP = 1
 
 #: ``run()`` outcomes.
 RUN_COMPLETED = "completed"
@@ -233,13 +247,26 @@ class OptimizationRun:
             for its backend).
         on_event: Optional callback invoked with every
             :class:`ProgressEvent` as it is emitted.
+        seed_plans: Optional plan trees from a *similar* query (same
+            tables and join graph, drifted statistics) — e.g. the Pareto
+            set of a :class:`repro.store.PlanSetStore` nearest-neighbor
+            entry.  Their subtrees are re-costed under *this* query's
+            cost model and inserted as pruning incumbents at the start
+            of each DP level of the first rung, so near-optimal
+            incumbents discard weak candidates on their first dominance
+            chunk instead of lingering in the entry list.  Seeds only
+            ever apply to rungs with ``alpha > 0`` (the "repair" rungs
+            re-run the full DP), so the final exact rung stays
+            bit-identical to an unseeded run; structurally invalid seeds
+            (foreign tables, disconnected splits) are dropped.
     """
 
     def __init__(self, backend: RRPABackend, query: Query, *,
                  precision_ladder=None,
                  fold_stats: OptimizerStats | None = None,
                  on_event: Callable[[ProgressEvent], None] | None = None,
-                 prune_chunk: int | None = None) -> None:
+                 prune_chunk: int | None = None,
+                 seed_plans=None) -> None:
         self.backend = backend
         self.query = query
         self.prune_chunk = (prune_chunk if prune_chunk is not None
@@ -263,11 +290,21 @@ class OptimizationRun:
         self._stats = OptimizerStats()
         self._elapsed = 0.0
         self._rung_seconds = 0.0
+        self.seed_plans = tuple(seed_plans or ())
+        #: Seed subplans inserted as incumbents so far (introspection;
+        #: pooled outcomes ship it back to the session).
+        self.seeded_plans = 0
+        #: Seed subtrees inserted per DP table set: an integer caps the
+        #: breadth, ``None`` adopts the neighbor's whole frontier (see
+        #: :data:`DEFAULT_SEED_CAP` for the tradeoff).
+        self.seed_cap = DEFAULT_SEED_CAP
+        self._seed_index: dict[frozenset[str], list] | None = None
         # Cross-rung warm start: cost functions are deterministic in the
         # plan structure, so later (tighter) rungs reuse the ones earlier
         # rungs built instead of re-running AccumulateCost.  Disabled for
-        # single-rung runs where it could only cost memory.
-        self._warm = len(self.ladder) > 1
+        # single-rung runs where it could only cost memory (seeded runs
+        # keep it on: seed costs must be shared across rungs).
+        self._warm = len(self.ladder) > 1 or bool(self.seed_plans)
         self._cost_memo: dict[tuple, Any] = {}
         self._local_cost_memo: dict[tuple, Any] = {}
 
@@ -412,6 +449,21 @@ class OptimizationRun:
         subset = key
         entries = []
         dp[subset] = entries
+        if self.seed_plans and self._rung == 0 and (
+                self.ladder[0] > 0):
+            candidates = self._seed_candidates(subset)
+            if self.seed_cap is not None:
+                candidates = candidates[:self.seed_cap]
+            for plan in candidates:
+                try:
+                    cost = self._seed_cost(plan)
+                except Exception:
+                    # Foreign seed the cost model rejects: skip it — the
+                    # enumeration below covers the table set regardless.
+                    continue
+                prune_into(backend, entries, plan, cost, stats,
+                           chunk_size=self.prune_chunk)
+                self.seeded_plans += 1
         for left_set, right_set in splits(self.query, subset):
             left_entries = dp.get(left_set)
             right_entries = dp.get(right_set)
@@ -429,6 +481,73 @@ class OptimizationRun:
         if not entries:
             raise OptimizationError(
                 f"no plans survived for table set {sorted(subset)}")
+
+    def _seed_candidates(self, subset: frozenset[str]) -> tuple:
+        if self._seed_index is None:
+            self._seed_index = self._build_seed_index()
+        return tuple(self._seed_index.get(subset, ()))
+
+    def _build_seed_index(self) -> dict[frozenset[str], list]:
+        """Validate seed plans and index their join subtrees by table set.
+
+        A seed is usable only if the DP could have produced it for *this*
+        query: it must span exactly the query's tables, and (for
+        connected join graphs) every subtree and split side must be
+        connected — otherwise the plan contains a Cartesian product the
+        enumeration would never generate, and it is dropped whole.
+        """
+        graph = self.query.join_graph
+        connected = graph.is_connected()
+        counts: dict[frozenset[str], dict[tuple, list]] = {}
+        for root in self.seed_plans:
+            if not isinstance(root, Plan) or (
+                    root.tables != self.query.table_set):
+                continue
+            joins = [node for node in root.nodes()
+                     if isinstance(node, JoinPlan)]
+            if connected and any(
+                    not graph.is_connected(node.tables)
+                    or not graph.is_connected(node.left.tables)
+                    or not graph.is_connected(node.right.tables)
+                    for node in joins):
+                continue
+            for node in joins:
+                per_subset = counts.setdefault(node.tables, {})
+                slot = per_subset.get(node.signature())
+                if slot is None:
+                    per_subset[node.signature()] = [node, 1]
+                else:
+                    slot[1] += 1
+        # Rank the most frequently used subtrees per table set first (a
+        # subtree shared by many seed plans is likely load-bearing); the
+        # breadth cap is applied at insertion time so callers may adjust
+        # :attr:`seed_cap` after construction.
+        index: dict[frozenset[str], list] = {}
+        for subset, per_subset in counts.items():
+            ranked = sorted(per_subset.values(), key=lambda s: -s[1])
+            index[subset] = [slot[0] for slot in ranked]
+        return index
+
+    def _seed_cost(self, plan: Plan):
+        """Cost a seed subtree under this query's model, via the memo.
+
+        Recursion bottoms out at scan leaves; every intermediate cost
+        lands in the cross-rung memo, so later (tighter) rungs reuse the
+        seed's cost functions exactly like any other plan's.
+        """
+        if isinstance(plan, ScanPlan):
+            return self._scan_cost(plan)
+        key = plan.signature()
+        cost = self._cost_memo.get(key)
+        if cost is None:
+            left = self._seed_cost(plan.left)
+            right = self._seed_cost(plan.right)
+            local = self._join_local_cost(plan.left.tables,
+                                          plan.right.tables,
+                                          plan.operator)
+            cost = self.backend.accumulate(local, (left, right))
+            self._cost_memo[key] = cost
+        return cost
 
     def _scan_cost(self, plan: ScanPlan):
         if not self._warm:
@@ -583,9 +702,37 @@ def ladder_to(target: float,
     return tuple(a for a in ladder if a > target) + (float(target),)
 
 
+#: Default jump-in alpha for seeded runs: leading ladder rungs coarser
+#: than this are dropped when a cross-query seed is available (see
+#: :func:`trim_ladder_for_seed`).
+SEED_JUMP_ALPHA = 0.05
+
+
+def trim_ladder_for_seed(ladder,
+                         jump_alpha: float = SEED_JUMP_ALPHA
+                         ) -> tuple[float, ...]:
+    """Drop leading rungs coarser than ``jump_alpha`` from a ladder.
+
+    A cold anytime run descends coarse rungs first so *some* guarantee
+    exists early.  A run seeded from a similar query's Pareto set jumps
+    straight to the tightest affordable rung instead: the seed's
+    subtrees prime the DP incumbents there, and the coarse rungs'
+    protection is redundant next to the near-miss state already in hand.
+    The first *formal* guarantee then arrives at the target alpha with
+    far fewer LPs than descending the whole ladder.
+
+    The final rung is always kept, so the run's target precision never
+    changes; with ``jump_alpha`` coarser than the whole ladder this is a
+    no-op.
+    """
+    kept = tuple(a for a in ladder if a <= jump_alpha + 1e-12)
+    return kept if kept else (ladder[-1],)
+
+
 __all__ = [
     "Budget",
     "DEFAULT_PRECISION_LADDER",
+    "DEFAULT_SEED_CAP",
     "EVENT_KINDS",
     "OptimizationRun",
     "ProgressEvent",
@@ -594,7 +741,9 @@ __all__ = [
     "RUN_RUNG_DONE",
     "RUN_STOPPED",
     "RungOutcome",
+    "SEED_JUMP_ALPHA",
     "guarantee_bound",
     "ladder_to",
+    "trim_ladder_for_seed",
     "validate_ladder",
 ]

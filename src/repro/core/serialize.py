@@ -68,6 +68,26 @@ def _encode_region(region) -> dict:
             "cutouts": [_encode_polytope(c) for c in region.cutouts]}
 
 
+def encode_plan(plan: Plan) -> dict:
+    """Encode one plan tree as a JSON-ready dict.
+
+    The per-entry ``"plan"`` format of :func:`encode_result`; used on
+    its own by the cross-query seeding path, which ships bare plan trees
+    (no cost functions — seeds are re-costed under the target query's
+    model).
+    """
+    return _encode_plan(plan)
+
+
+def decode_plan(doc: dict) -> Plan:
+    """Inverse of :func:`encode_plan`.
+
+    Raises:
+        SerializationError: For unknown plan node kinds.
+    """
+    return _decode_plan(doc)
+
+
 def encode_result(result: OptimizationResult) -> dict:
     """Encode a result's final Pareto plan set as a JSON-ready dict.
 

@@ -41,8 +41,9 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..core import Budget, encode_plan_set, ladder_to
-from ..service import OptimizerSession
+from ..service import OptimizerSession, WarmStartCache
 from ..service.signature import query_signature
+from ..store import PlanSetStore
 from .admission import AdmissionController
 from .counters import ServingCounters
 from .protocol import (OptimizeRequest, ProtocolError, event_to_wire,
@@ -84,6 +85,13 @@ class GatewayConfig:
             none (``None`` = unbounded).
         max_body_bytes: Request-body size cap (HTTP 413 above it).
         warm_start: ``warm_start=`` for the shard sessions.
+        store_path: Optional path of a :class:`repro.store.PlanSetStore`
+            database shared by *all* shards (``":memory:"`` works too —
+            one in-process store, still shared).  Routing pins a query
+            signature to one shard, but the store makes every shard's
+            results visible to every other shard's near-miss seeding,
+            so a recurring query family warms the whole gateway.
+            ``None`` disables the persistent tier.
     """
 
     host: str = "127.0.0.1"
@@ -98,6 +106,7 @@ class GatewayConfig:
     default_deadline_seconds: float | None = None
     max_body_bytes: int = 4 * 1024 * 1024
     warm_start: bool = True
+    store_path: str | None = None
 
 
 @dataclass
@@ -143,6 +152,7 @@ class ServingGateway:
             max_pending=self.config.max_pending)
         self.counters = ServingCounters()
         self.shards: list[_Shard] = []
+        self.store: PlanSetStore | None = None
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self.port: int | None = None
@@ -156,12 +166,17 @@ class ServingGateway:
         if self._server is not None:
             raise RuntimeError("gateway already started")
         self._loop = asyncio.get_running_loop()
+        if self.config.store_path is not None:
+            self.store = PlanSetStore(self.config.store_path)
         for index in range(self.config.shards):
+            cache = (WarmStartCache(store=self.store)
+                     if self.store is not None else None)
             session = OptimizerSession(
                 scenario=self.config.scenario,
                 workers=self.config.shard_workers,
                 resolution=self.config.resolution,
                 warm_start=self.config.warm_start,
+                cache=cache,
                 registry=self._registry)
             executor = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix=f"repro-shard-{index}")
@@ -189,6 +204,13 @@ class ServingGateway:
             if deadline is not None and time.monotonic() >= deadline:
                 return False
             await asyncio.sleep(0.01)
+        if self.store is not None:
+            # Idle: checkpoint the shared store so its WAL is truncated
+            # and the database file alone is complete on disk.
+            try:
+                self.store.flush()
+            except Exception:
+                pass  # drain still succeeded; stop() will retry close
         return True
 
     async def stop(self) -> None:
@@ -201,6 +223,9 @@ class ServingGateway:
             shard.executor.shutdown(wait=True)
             shard.session.close()
         self.shards = []
+        if self.store is not None:
+            self.store.close()
+            self.store = None
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -530,8 +555,12 @@ class ServingGateway:
             {"index": shard.index,
              "requests": shard.requests,
              "pool_spawns": shard.session.pool_spawns,
-             "lp_cache_hits": shard.session.lp_cache_hits_total}
+             "lp_cache_hits": shard.session.lp_cache_hits_total,
+             "store_seed_hits": shard.session.store_seed_hits,
+             "store_seed_misses": shard.session.store_seed_misses}
             for shard in self.shards]
+        if self.store is not None:
+            doc["store"] = self.store.snapshot()
         return doc
 
 

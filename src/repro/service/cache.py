@@ -36,19 +36,28 @@ class WarmStartCache:
 
     Args:
         maxsize: Maximum number of in-memory entries (LRU eviction);
-            ``0`` disables the in-memory tier (the disk tier, when
-            configured, still works).
+            ``0`` disables the in-memory tier (the persistent tiers,
+            when configured, still work).
         directory: Optional directory for JSON persistence; entries are
             written as ``<signature>.json`` and read back on memory
             misses, so the directory acts as a second cache tier.
+        store: Optional :class:`repro.store.PlanSetStore` acting as the
+            persistent tier between memory and the directory: misses
+            consult it, puts write through to it (the store applies the
+            same coarser-never-overwrites-tighter rule), and one store
+            can be shared by many caches (e.g. gateway shards).  The
+            cache does not own the store's lifecycle — whoever created
+            it closes it.
     """
 
     def __init__(self, maxsize: int = 128,
-                 directory: str | os.PathLike | None = None) -> None:
+                 directory: str | os.PathLike | None = None,
+                 store=None) -> None:
         self.maxsize = maxsize
         self.directory = os.fspath(directory) if directory else None
         if self.directory:
             os.makedirs(self.directory, exist_ok=True)
+        self.store = store
         self._data = BoundedLRU(maxsize)
         self._lock = threading.Lock()
         self.hits = 0
@@ -95,6 +104,14 @@ class WarmStartCache:
             if stored is not None:
                 self.hits += 1
                 return self._unwrap(stored)
+        entry = self._store_entry(signature)
+        if entry is not None:
+            doc, alpha = entry
+            with self._lock:
+                self._data.put(signature, {"alpha": alpha,
+                                           "plan_set": doc})
+                self.hits += 1
+            return entry
         path = self._path_for(signature)
         if path is not None:
             try:
@@ -111,6 +128,24 @@ class WarmStartCache:
         with self._lock:
             self.misses += 1
         return None
+
+    def _store_entry(self, signature: str,
+                     max_alpha: float | None = None
+                     ) -> tuple[dict, float] | None:
+        """Read ``(doc, alpha)`` from the persistent store tier, if any.
+
+        Store errors (a closed or concurrently rebuilt store) count as
+        misses — the query is re-optimized rather than failing.
+        """
+        if self.store is None:
+            return None
+        try:
+            doc = self.store.get(signature, max_alpha=max_alpha)
+        except Exception:
+            return None
+        if doc is None:
+            return None
+        return doc, float(doc.get("alpha", 0.0))
 
     def _disk_entry(self, signature: str) -> tuple[dict, float] | None:
         """Read ``(doc, alpha)`` straight from the disk tier, if any."""
@@ -144,11 +179,15 @@ class WarmStartCache:
             return None
         doc, alpha = entry
         if max_alpha is not None and alpha > max_alpha + 1e-12:
-            # Too coarse in memory; a tighter entry may live on disk
-            # (written by another process sharing the directory).
-            disk = self._disk_entry(signature)
-            if disk is not None and disk[1] <= max_alpha + 1e-12:
-                doc, alpha = disk
+            # Too coarse in memory; a tighter entry may live in the
+            # store or on disk (written by another process/shard).
+            tighter = self._store_entry(signature, max_alpha=max_alpha)
+            if tighter is None:
+                disk = self._disk_entry(signature)
+                if disk is not None and disk[1] <= max_alpha + 1e-12:
+                    tighter = disk
+            if tighter is not None:
+                doc, alpha = tighter
                 with self._lock:
                     self._data.put(signature,
                                    {"alpha": alpha, "plan_set": doc})
@@ -187,6 +226,18 @@ class WarmStartCache:
         """
         alpha = float(alpha)
         stored = {"alpha": alpha, "plan_set": doc}
+        if self.store is not None:
+            # Write-through to the persistent store tier; the store
+            # applies the coarser-never-overwrites-tighter rule itself
+            # and joins family metadata registered at miss time.  The
+            # stored document must carry the tag it is cached under.
+            store_doc = doc
+            if abs(float(doc.get("alpha", 0.0)) - alpha) > 1e-12:
+                store_doc = dict(doc, alpha=alpha)
+            try:
+                self.store.put(signature, store_doc)
+            except Exception:
+                pass  # persistent tier unavailable: memory/disk still work
         if self.directory and alpha > 1e-12:
             # Consult the shared disk tier *before* touching memory: a
             # tighter entry written by another process must veto both

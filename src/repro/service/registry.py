@@ -87,17 +87,20 @@ class Scenario:
 
     def start_run(self, query: Query, resolution: int = 2,
                   options: PWLRRPAOptions | None = None, *,
-                  precision_ladder=None, on_event=None):
+                  precision_ladder=None, on_event=None,
+                  seed_plans=None):
         """Create a resumable anytime run for one query.
 
         Returns a :class:`repro.core.run.OptimizationRun` that can be
         advanced under :class:`repro.core.run.Budget` limits and
         laddered through successively tighter precisions; see
-        :mod:`repro.core.run`.
+        :mod:`repro.core.run`.  ``seed_plans`` warm-starts the first
+        coarse rung from a similar query's cached Pareto set.
         """
         return self.optimizer(resolution=resolution,
                               options=options).start_run(
-            query, precision_ladder=precision_ladder, on_event=on_event)
+            query, precision_ladder=precision_ladder, on_event=on_event,
+            seed_plans=seed_plans)
 
     @property
     def metric_names(self) -> tuple[str, ...]:

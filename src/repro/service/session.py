@@ -52,6 +52,7 @@ free.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import queue as queue_module
 import time
@@ -62,22 +63,33 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Iterator, Sequence
 
-from ..core import (RUN_COMPLETED, Budget, OptimizerStats, ProgressEvent,
-                    PWLRRPAOptions, StoredPlanSet, decode_plan_set,
-                    encode_result, ladder_to, validate_ladder)
+from ..core import (DEFAULT_SEED_CAP, RUN_COMPLETED, SEED_JUMP_ALPHA, Budget,
+                    OptimizerStats, ProgressEvent, PWLRRPAOptions,
+                    StoredPlanSet, decode_plan, decode_plan_set,
+                    encode_result, ladder_to, trim_ladder_for_seed,
+                    validate_ladder)
 from ..errors import OptimizationError
 from ..lp import (LPResultCache, install_shared_lp_cache,
                   shared_lp_cache)
 from ..query import Query
 from .cache import WarmStartCache
 from .registry import ScenarioRegistry, default_registry
-from .signature import query_signature
+from .signature import (family_digest, query_signature,
+                        signature_features, statistics_digest)
 
 #: Result statuses a batch item can end in.  ``"partial"`` is the
 #: anytime outcome: the budget expired before the target precision, but
 #: a coarser rung completed — the plan set is valid with the reported
 #: guarantee.
 STATUSES = ("ok", "cached", "partial", "error", "timeout")
+
+#: Recorded repair cost (total LPs of the run that produced a stored
+#: plan-set document) above which a seeded run adopts the neighbor's
+#: *whole* frontier instead of one incumbent per table set — the
+#: quadratic seed-installation cost only amortizes against expensive
+#: enumerations.  Stored documents carry the cost as ``repair_lps``;
+#: entries without it (older documents) stay on the conservative arm.
+SEED_ALL_IN_LPS = 10_000.0
 
 #: Most-recently-used LP memo entries shipped to each spawning worker.
 #: Bounds the pickled seed (LP results hold numpy arrays) so spawning a
@@ -213,6 +225,49 @@ def _live_event_emitter(run, events_queue):
     return on_event
 
 
+def _tag_repair_cost(doc: dict, lps) -> dict:
+    """Record the producing run's LP count on a plan-set document.
+
+    Stored as ``repair_lps`` next to the document's guarantee tags: a
+    later near-miss run seeded from this document reads it to choose its
+    seeding breadth (see :meth:`OptimizerSession._seed_breadth`).
+    Decoders ignore the extra key, so plan-set round-trips are
+    unaffected.
+    """
+    try:
+        lps = float(lps)
+    except (TypeError, ValueError):
+        return doc
+    if lps > 0:
+        doc["repair_lps"] = lps
+    return doc
+
+
+#: Marker for "the seed spec carried no breadth": keep the run's default.
+_SEED_CAP_UNSET = object()
+
+
+def _decode_seed_spec(spec) -> tuple[list | None, object]:
+    """Decode a seed payload into ``(seed_plans, seed_cap)``.
+
+    The spec is either a mapping (``{"plans": [...], "cap": int|None}``,
+    what :meth:`OptimizerSession._store_seed` builds) or a bare list of
+    plan documents; undecodable plans degrade to an unseeded run.
+    """
+    seed_cap = _SEED_CAP_UNSET
+    if isinstance(spec, dict):
+        seed_docs = spec.get("plans")
+        seed_cap = spec.get("cap", _SEED_CAP_UNSET)
+    else:
+        seed_docs = spec
+    if not seed_docs:
+        return None, seed_cap
+    try:
+        return [decode_plan(doc) for doc in seed_docs], seed_cap
+    except Exception:
+        return None, seed_cap  # unusable seed: run cold
+
+
 def _run_anytime(scenario, query: Query, resolution: int, options,
                  anytime: dict) -> tuple[dict, dict]:
     """Run an anytime precision ladder to its (cooperative) budget.
@@ -226,9 +281,13 @@ def _run_anytime(scenario, query: Query, resolution: int, options,
     instead of replaying the trail on completion.
     """
     events_queue = anytime.get("events")
+    seed_plans, seed_cap = _decode_seed_spec(anytime.get("seed"))
     run = scenario.start_run(
         query, resolution=resolution, options=options,
-        precision_ladder=tuple(anytime["ladder"]))
+        precision_ladder=tuple(anytime["ladder"]),
+        seed_plans=seed_plans)
+    if seed_plans and seed_cap is not _SEED_CAP_UNSET:
+        run.seed_cap = seed_cap
     if events_queue is not None:
         run.on_event = _live_event_emitter(run, events_queue)
     try:
@@ -256,6 +315,7 @@ def _run_anytime(scenario, query: Query, resolution: int, options,
         "status": item_status,
         "rungs": rungs,
         "events": [event.as_dict() for event in run.events],
+        "seeded_plans": run.seeded_plans,
     }
     stats = (result.stats.summary() if result is not None
              else OptimizerStats().summary())
@@ -381,6 +441,10 @@ class OptimizerSession:
         self.lp_memo_merged_entries = 0
         #: LP memo hits summed over every completed item's stats.
         self.lp_cache_hits_total = 0
+        #: Anytime cache misses where the persistent store produced a
+        #: similar-query seed, and where it produced none.
+        self.store_seed_hits = 0
+        self.store_seed_misses = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -566,6 +630,103 @@ class OptimizerSession:
                          alpha=alpha,
                          guarantee=float(doc.get("guarantee", 1.0)))
 
+    def _store_seed(self, query: Query, signature: str,
+                    scenario_name: str, options,
+                    ladder: tuple) -> list[dict] | None:
+        """Similar-query seed lookup in the persistent store tier.
+
+        Runs on anytime cache misses.  Registers the query's family
+        metadata (so the eventual ``cache.put`` write-through can attach
+        it to the stored row), then asks the store for the same-family
+        entry with the nearest statistics feature vector.  Returns a
+        picklable seed spec — the neighbor's plan-tree documents plus
+        the chosen seeding breadth (see :meth:`_seed_breadth`), ready to
+        embed in a pooled payload — or ``None`` when seeding is disabled
+        (``REPRO_STORE_SEED=0``), no store is configured, the ladder has
+        no coarse rung to seed, or the store has no neighbor.
+        """
+        store = getattr(self.cache, "store", None)
+        if (store is None or not self.warm_start
+                or not ladder or ladder[0] <= 0
+                or os.environ.get("REPRO_STORE_SEED",
+                                  "1").lower() in ("0", "false", "off")):
+            return None
+        effective = options if options is not None else self.options
+        try:
+            family = family_digest(query, scenario=scenario_name,
+                                   resolution=self.resolution,
+                                   options=effective)
+            features = signature_features(query)
+            store.register(signature, family=family,
+                           scenario=scenario_name,
+                           stats_digest=statistics_digest(query),
+                           num_tables=query.num_tables,
+                           num_params=max(1, query.num_params),
+                           features=features)
+            rows = store.nearest(family, features, limit=1,
+                                 exclude_signature=signature)
+        except Exception:
+            return None  # store unavailable: run cold
+        if not rows:
+            self.store_seed_misses += 1
+            return None
+        self.store_seed_hits += 1
+        document = rows[0]["document"]
+        return {"plans": [entry["plan"]
+                          for entry in document.get("entries", [])],
+                "cap": self._seed_breadth(document)}
+
+    def _seed_breadth(self, document: dict) -> int | None:
+        """Per-table-set seed cap for a run seeded from ``document``.
+
+        Seeding breadth is all-or-one (partial breadths measure as the
+        worst of both — insertion cost without complete-frontier
+        pruning): adopt the neighbor's whole frontier (``None``) when
+        its recorded repair cost says the enumeration is expensive
+        enough to amortize the quadratic installation, otherwise install
+        one near-free incumbent per table set
+        (:data:`repro.core.run.DEFAULT_SEED_CAP`).
+        ``REPRO_STORE_SEED_BREADTH`` forces ``all`` or ``one``.
+        """
+        raw = os.environ.get("REPRO_STORE_SEED_BREADTH", "auto").lower()
+        if raw == "all":
+            return None
+        if raw == "one":
+            return DEFAULT_SEED_CAP
+        try:
+            repair = float(document.get("repair_lps") or 0.0)
+        except (TypeError, ValueError):
+            repair = 0.0
+        return None if repair >= SEED_ALL_IN_LPS else DEFAULT_SEED_CAP
+
+    def _seed_jump_alpha(self) -> float:
+        """Coarsest rung a seeded run still descends through.
+
+        ``REPRO_STORE_SEED_ALPHA`` overrides the default jump point
+        (:data:`repro.core.run.SEED_JUMP_ALPHA`); unparseable values
+        fall back to the default.
+        """
+        raw = os.environ.get("REPRO_STORE_SEED_ALPHA")
+        if raw is None:
+            return SEED_JUMP_ALPHA
+        try:
+            return float(raw)
+        except ValueError:
+            return SEED_JUMP_ALPHA
+
+    def _seeded_ladder(self, ladder: tuple) -> tuple:
+        """Trim a default ladder for a seeded (warm) run.
+
+        With near-optimal incumbents already in the DP table, the coarse
+        protective rungs no longer pay for themselves: the seeded run
+        jumps straight to the tightest approximate rung and then the
+        target.  This is the measured source of the warm-start speedup
+        (seeds alone merely break even on LPs) — see
+        ``docs/plan-store.md``.  Only applied when the caller did *not*
+        pass an explicit ``precision_ladder``.
+        """
+        return trim_ladder_for_seed(ladder, self._seed_jump_alpha())
+
     def _merge_memo_delta(self, outcome: dict) -> None:
         """Adopt a worker's freshly learned LP-memo entries.
 
@@ -614,6 +775,7 @@ class OptimizerSession:
             return item
         alpha = float(outcome.get("alpha") or 0.0)
         if self.warm_start:
+            _tag_repair_cost(doc, (stats or {}).get("lps_solved"))
             self.cache.put(signature, doc, alpha=alpha)
         if stats:
             self.lp_cache_hits_total += int(
@@ -947,8 +1109,14 @@ class OptimizerSession:
                                    max_alpha=target)
         if cached is not None:
             return cached
+        seed = self._store_seed(query, signature, scenario_name, options,
+                                ladder)
+        if seed and precision_ladder is None:
+            ladder = self._seeded_ladder(ladder)
         anytime = {"ladder": ladder,
                    "budget": budget.as_dict() if budget else None}
+        if seed:
+            anytime["seed"] = seed
         if self.workers > 1:
             item_future, raw = self._submit_pooled(
                 0, signature, scenario_name, query, options=options,
@@ -1009,6 +1177,7 @@ class OptimizerSession:
         rung = doc.get("rung")
         if rung is not None:
             if self.warm_start:
+                _tag_repair_cost(rung["doc"], event.lps_solved)
                 self.cache.put(signature, rung["doc"],
                                alpha=float(rung["alpha"]))
             try:
@@ -1020,7 +1189,7 @@ class OptimizerSession:
 
     def _optimize_iter_pooled(self, query: Query, scenario_name: str,
                               ladder, budget: Budget | None, options,
-                              signature: str
+                              signature: str, seed=None
                               ) -> Iterator[ProgressEvent]:
         """Stream a pooled ladder run's events *live*.
 
@@ -1036,6 +1205,8 @@ class OptimizerSession:
         events_queue = self._event_queue()
         anytime = {"ladder": ladder,
                    "budget": budget.as_dict() if budget else None}
+        if seed:
+            anytime["seed"] = seed
         if events_queue is not None:
             anytime["events"] = events_queue
         item_future, raw = self._submit_pooled(
@@ -1131,23 +1302,30 @@ class OptimizerSession:
                 units_done=0, units_total=0, lps_solved=0, seconds=0.0,
                 plan_set=cached.plan_set)
             return
+        seed = self._store_seed(query, signature, scenario_name, options,
+                                ladder)
+        if seed and precision_ladder is None:
+            ladder = self._seeded_ladder(ladder)
         if self.workers > 1:
             yield from self._optimize_iter_pooled(query, scenario_name,
                                                   ladder, budget, options,
-                                                  signature)
+                                                  signature, seed=seed)
             return
         yield from self._optimize_iter_serial(query, scenario_name,
                                               ladder, budget, options,
-                                              signature)
+                                              signature, seed=seed)
 
     def _optimize_iter_serial(self, query: Query, scenario_name: str,
                               ladder, budget: Budget | None, options,
-                              signature: str
+                              signature: str, seed=None
                               ) -> Iterator[ProgressEvent]:
         """Live in-process ladder run behind :meth:`optimize_iter`."""
+        seed_plans, seed_cap = _decode_seed_spec(seed)
         run = self.registry.get(scenario_name).start_run(
             query, resolution=self.resolution, options=options,
-            precision_ladder=ladder)
+            precision_ladder=ladder, seed_plans=seed_plans)
+        if seed_plans and seed_cap is not _SEED_CAP_UNSET:
+            run.seed_cap = seed_cap
         previous = None
         if self.lp_memo is not None:
             previous = install_shared_lp_cache(self.lp_memo)
@@ -1157,6 +1335,7 @@ class OptimizerSession:
                     outcome = run.completed[event.rung]
                     doc = encode_result(outcome.result)
                     if self.warm_start:
+                        _tag_repair_cost(doc, event.lps_solved)
                         self.cache.put(signature, doc,
                                        alpha=outcome.alpha)
                     event = replace(event,

@@ -1,0 +1,101 @@
+"""Row encoding for the plan-set store.
+
+Translates between ``encode_plan_set`` documents (the JSON format of
+:mod:`repro.core.serialize`) and the store's relational layout: the
+document itself is kept verbatim as JSON text, while the pieces the
+lookup queries touch — alpha/guarantee tags, the axis-aligned parameter
+bounding box, the statistics feature vector — are lifted into columns
+and side tables at write time.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """One plan-set document plus the metadata the store indexes.
+
+    Attributes:
+        signature: Full query signature (exact-hit key).
+        family: Structure-only family digest
+            (:func:`repro.service.signature.family_digest`).
+        scenario: Scenario name (denormalized for reporting).
+        stats_digest: Digest of the volatile statistics
+            (:func:`repro.service.signature.statistics_digest`).
+        num_tables: Tables joined by the query.
+        num_params: Optimization parameters.
+        features: Statistics feature vector
+            (:func:`repro.service.signature.signature_features`).
+        document: The ``encode_plan_set`` document.
+    """
+
+    signature: str
+    family: str
+    scenario: str
+    stats_digest: str
+    num_tables: int
+    num_params: int
+    features: tuple[float, ...]
+    document: dict
+
+
+def document_box(document: dict) -> list[tuple[float, float]]:
+    """Axis-aligned parameter bounding box of a plan-set document.
+
+    The box of the union of the entries' region *spaces*, derived from
+    axis-aligned constraints (``a`` with one non-zero coefficient);
+    oblique constraints cannot tighten an axis-aligned box, so they are
+    ignored — the result is a conservative cover.  Dimensions left
+    unbounded by every entry default to ``[0, 1]`` (the selectivity
+    parameter domain).
+    """
+    dim = max(1, int(document.get("num_params", 1)))
+    los = [math.inf] * dim
+    his = [-math.inf] * dim
+    entries = document.get("entries", [])
+    for entry in entries:
+        space = entry["region"]["space"]
+        entry_lo = [0.0] * dim
+        entry_hi = [1.0] * dim
+        for constraint in space["constraints"]:
+            a, b = constraint["a"], float(constraint["b"])
+            nonzero = [(i, c) for i, c in enumerate(a) if c != 0.0]
+            if len(nonzero) != 1:
+                continue
+            i, coeff = nonzero[0]
+            if coeff > 0:
+                entry_hi[i] = min(entry_hi[i], b / coeff)
+            else:
+                entry_lo[i] = max(entry_lo[i], b / coeff)
+        for i in range(dim):
+            los[i] = min(los[i], entry_lo[i])
+            his[i] = max(his[i], entry_hi[i])
+    if not entries:
+        return [(0.0, 1.0)] * dim
+    return [(lo if math.isfinite(lo) else 0.0,
+             hi if math.isfinite(hi) else 1.0)
+            for lo, hi in zip(los, his)]
+
+
+def encode_document(document: dict) -> str:
+    """Compact canonical JSON text for the ``document`` column."""
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def decode_document(text: str) -> dict:
+    """Inverse of :func:`encode_document`."""
+    return json.loads(text)
+
+
+def encode_features(features) -> str:
+    """JSON text for the ``signatures.features`` column."""
+    return json.dumps([float(v) for v in features])
+
+
+def decode_features(text: str) -> tuple[float, ...]:
+    """Inverse of :func:`encode_features`."""
+    return tuple(float(v) for v in json.loads(text))

@@ -1,0 +1,37 @@
+-- Plan-set store schema version 1, exactly as created before the
+-- statistics split: ``plan_sets`` without the ``stats_digest`` column
+-- and no ``features``/``signatures`` tables.  Checked in as the
+-- migration fixture for tests/test_store.py — ensure_schema() must
+-- upgrade a database built from this script to the current version
+-- without losing the stored row.
+PRAGMA user_version = 1;
+
+CREATE TABLE plan_sets (
+    id INTEGER PRIMARY KEY,
+    signature TEXT NOT NULL UNIQUE,
+    family TEXT NOT NULL,
+    scenario TEXT NOT NULL,
+    num_tables INTEGER NOT NULL,
+    num_params INTEGER NOT NULL,
+    alpha REAL NOT NULL,
+    guarantee REAL NOT NULL,
+    num_entries INTEGER NOT NULL,
+    document TEXT NOT NULL
+);
+
+CREATE INDEX ix_plan_sets_family ON plan_sets (family, alpha);
+
+CREATE TABLE param_boxes (
+    plan_set_id INTEGER NOT NULL
+        REFERENCES plan_sets(id) ON DELETE CASCADE,
+    dim INTEGER NOT NULL,
+    lo REAL NOT NULL,
+    hi REAL NOT NULL,
+    PRIMARY KEY (plan_set_id, dim)
+);
+
+INSERT INTO plan_sets VALUES
+    (1, 'sig-legacy', 'fam-legacy', 'cloud', 2, 1, 0.0, 1.0, 0,
+     '{"alpha":0.0,"entries":[],"guarantee":1.0,"num_params":1}');
+
+INSERT INTO param_boxes VALUES (1, 0, 0.0, 1.0);

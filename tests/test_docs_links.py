@@ -40,9 +40,9 @@ def _relative_links(doc: Path) -> list[str]:
 def test_doc_files_exist():
     docs = _doc_files()
     names = {doc.name for doc in docs}
-    # The four guides must ship alongside the README.
+    # The five guides must ship alongside the README.
     assert {"README.md", "architecture.md", "lp-substrate.md",
-            "counters.md", "serving.md"} <= names
+            "counters.md", "serving.md", "plan-store.md"} <= names
 
 
 @pytest.mark.parametrize("doc", _doc_files(), ids=lambda d: d.name)
@@ -64,5 +64,6 @@ def test_relative_links_resolve(doc):
 def test_readme_links_the_guides():
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     for guide in ("docs/architecture.md", "docs/lp-substrate.md",
-                  "docs/counters.md", "docs/serving.md"):
+                  "docs/counters.md", "docs/serving.md",
+                  "docs/plan-store.md"):
         assert f"({guide})" in readme, f"README does not link {guide}"

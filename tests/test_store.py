@@ -1,0 +1,388 @@
+"""The persistent plan-set store: schema, lookups, robustness.
+
+Covers the contract of :class:`repro.store.PlanSetStore` in isolation
+(seeding behavior through sessions lives in ``test_store_seeding.py``):
+
+* round trips, alpha bounds, and the coarser-never-overwrites-tighter
+  write rule shared with :class:`repro.service.cache.WarmStartCache`;
+* box subsumption (``covering``) and same-family nearest-neighbor
+  search (``nearest``), including exclusion filters;
+* schema versioning — fresh stores at the current version, in-place
+  migration of a checked-in version-1 fixture, refusal of files from
+  the future;
+* robustness — corrupted files degrade to a cold start with a warning,
+  two store instances on one WAL file interleave writes safely, and a
+  file written by one process is read back by the next (the CI
+  persistence leg runs this module twice against one database via
+  ``REPRO_STORE_PERSIST_DB``);
+* dependency hygiene — the store package imports stdlib only and the
+  project grows no new runtime dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import sqlite3
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.core import encode_result
+from repro.query import QueryGenerator
+from repro.service.registry import get_scenario
+from repro.service.signature import (family_digest, query_signature,
+                                     signature_features, statistics_digest)
+from repro.store import (PlanSetStore, SCHEMA_VERSION, StoreSchemaError,
+                         document_box)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+V1_FIXTURE = Path(__file__).resolve().parent / "fixtures" / "store_v1.sql"
+
+
+@pytest.fixture(scope="module")
+def plan_doc():
+    """A real exact plan-set document (small query, fast to produce)."""
+    query = QueryGenerator(seed=3).generate(num_tables=3, shape="chain",
+                                            num_params=1)
+    result = get_scenario("cloud").optimize(query, resolution=2)
+    doc = encode_result(result)
+    doc.setdefault("alpha", 0.0)
+    doc.setdefault("guarantee", 1.0)
+    return doc
+
+
+def coarse_doc(doc, alpha):
+    """The same document tagged at a coarser alpha."""
+    out = dict(doc)
+    out["alpha"] = alpha
+    out["guarantee"] = (1.0 + alpha) ** 3
+    return out
+
+
+class TestRoundTrip:
+    def test_fresh_store_is_current_version(self):
+        with PlanSetStore() as store:
+            assert store.schema_version() == SCHEMA_VERSION
+            assert len(store) == 0
+
+    def test_put_get_round_trip(self, plan_doc):
+        with PlanSetStore() as store:
+            assert store.put("sig-a", plan_doc)
+            assert store.get("sig-a") == plan_doc
+            assert store.get("sig-missing") is None
+            assert len(store) == 1
+            assert store.counters.exact_hits == 1
+            assert store.counters.misses == 1
+
+    def test_get_respects_max_alpha(self, plan_doc):
+        with PlanSetStore() as store:
+            store.put("sig-a", coarse_doc(plan_doc, 0.2))
+            assert store.get("sig-a", max_alpha=0.05) is None
+            assert store.get("sig-a", max_alpha=0.2) is not None
+            assert store.get("sig-a", max_alpha=0.5) is not None
+
+    def test_coarser_never_overwrites_tighter(self, plan_doc):
+        with PlanSetStore() as store:
+            assert store.put("sig-a", plan_doc)  # exact
+            assert not store.put("sig-a", coarse_doc(plan_doc, 0.2))
+            assert store.get("sig-a")["alpha"] == 0.0
+            assert store.counters.puts_rejected_coarser == 1
+
+    def test_tighter_replaces_coarser(self, plan_doc):
+        with PlanSetStore() as store:
+            assert store.put("sig-a", coarse_doc(plan_doc, 0.5))
+            assert store.put("sig-a", coarse_doc(plan_doc, 0.2))
+            assert store.put("sig-a", plan_doc)
+            assert store.get("sig-a")["alpha"] == 0.0
+            assert len(store) == 1
+
+    def test_closed_store_raises(self, plan_doc):
+        store = PlanSetStore()
+        store.close()
+        assert store.closed
+        store.close()  # idempotent
+        with pytest.raises(StoreSchemaError):
+            store.get("sig-a")
+
+    def test_snapshot_shape(self, plan_doc):
+        with PlanSetStore() as store:
+            store.put("sig-a", plan_doc)
+            snap = store.snapshot()
+        assert snap["entries"] == 1
+        assert snap["puts"] == 1
+        assert snap["schema_version"] == SCHEMA_VERSION
+        for key in ("exact_hits", "misses", "near_hits", "nn_queries",
+                    "covering_queries", "puts_rejected_coarser",
+                    "migrations", "corruption_recoveries"):
+            assert key in snap
+
+
+class TestBoxSubsumption:
+    def test_document_box_defaults_to_unit_interval(self):
+        assert document_box({"num_params": 2, "entries": []}) == [
+            (0.0, 1.0), (0.0, 1.0)]
+
+    def test_document_box_reads_axis_aligned_constraints(self):
+        doc = {"num_params": 1, "entries": [
+            {"region": {"space": {"constraints": [
+                {"a": [1.0], "b": 0.6},     # x <= 0.6
+                {"a": [-1.0], "b": -0.2},   # x >= 0.2
+            ]}}},
+            {"region": {"space": {"constraints": [
+                {"a": [1.0], "b": 0.9},     # x <= 0.9
+                {"a": [0.3], "b": 0.15},    # x <= 0.5 (scaled)
+            ]}}},
+        ]}
+        # Entry boxes [0.2, 0.6] and [0.0, 0.5]; the document box is
+        # their union.
+        box = document_box(doc)
+        assert box == [(0.0, 0.6)]
+
+    def test_covering_finds_subsuming_boxes(self, plan_doc):
+        narrow = {"num_params": 1, "alpha": 0.0, "guarantee": 1.0,
+                  "entries": [{"plan": {}, "region": {"space": {
+                      "constraints": [{"a": [1.0], "b": 0.5}]}}}]}
+        with PlanSetStore() as store:
+            store.register("sig-wide", family="fam", scenario="cloud")
+            store.register("sig-narrow", family="fam", scenario="cloud")
+            store.put("sig-wide", plan_doc)        # box [0, 1]
+            store.put("sig-narrow", narrow)        # box [0, 0.5]
+            hits = store.covering([(0.2, 0.8)], family="fam")
+            assert [h["signature"] for h in hits] == ["sig-wide"]
+            hits = store.covering([(0.1, 0.4)], family="fam")
+            assert {h["signature"] for h in hits} == {"sig-wide",
+                                                     "sig-narrow"}
+
+    def test_covering_respects_family_and_alpha(self, plan_doc):
+        with PlanSetStore() as store:
+            store.register("sig-a", family="fam-a", scenario="cloud")
+            store.put("sig-a", coarse_doc(plan_doc, 0.2))
+            assert store.covering([(0.0, 1.0)], family="fam-b") == []
+            assert store.covering([(0.0, 1.0)], family="fam-a",
+                                  max_alpha=0.05) == []
+            assert len(store.covering([(0.0, 1.0)], family="fam-a",
+                                      max_alpha=0.2)) == 1
+
+    def test_covering_dimension_mismatch_does_not_cover(self, plan_doc):
+        with PlanSetStore() as store:
+            store.put("sig-a", plan_doc)  # 1 parameter dimension
+            assert store.covering([(0.0, 1.0), (0.0, 1.0)]) == []
+
+
+class TestNearestNeighbor:
+    def seed(self, store, signature, features, doc):
+        store.register(signature, family="fam", scenario="cloud",
+                       stats_digest=f"stats-{signature}",
+                       num_tables=3, features=features)
+        assert store.put(signature, doc)
+
+    def test_nearest_ranks_by_feature_distance(self, plan_doc):
+        with PlanSetStore() as store:
+            self.seed(store, "sig-close", (1.0, 2.0), plan_doc)
+            self.seed(store, "sig-far", (5.0, 9.0), plan_doc)
+            rows = store.nearest("fam", (1.1, 2.1), limit=2)
+            assert [r["signature"] for r in rows] == ["sig-close",
+                                                      "sig-far"]
+            assert rows[0]["distance"] < rows[1]["distance"]
+            assert rows[0]["document"] == plan_doc
+
+    def test_nearest_excludes_self_and_same_stats(self, plan_doc):
+        with PlanSetStore() as store:
+            self.seed(store, "sig-a", (1.0, 2.0), plan_doc)
+            self.seed(store, "sig-b", (1.5, 2.5), plan_doc)
+            rows = store.nearest("fam", (1.0, 2.0),
+                                 exclude_signature="sig-a")
+            assert [r["signature"] for r in rows] == ["sig-b"]
+            rows = store.nearest("fam", (1.0, 2.0),
+                                 exclude_stats_digest="stats-sig-a")
+            assert [r["signature"] for r in rows] == ["sig-b"]
+
+    def test_nearest_requires_matching_family_and_dims(self, plan_doc):
+        with PlanSetStore() as store:
+            self.seed(store, "sig-a", (1.0, 2.0), plan_doc)
+            assert store.nearest("other-family", (1.0, 2.0)) == []
+            # Dimensionality mismatch: stored vectors don't qualify.
+            assert store.nearest("fam", (1.0, 2.0, 3.0)) == []
+            assert store.nearest("fam", ()) == []
+
+
+class TestSchemaVersioning:
+    def build_v1(self, path):
+        conn = sqlite3.connect(path)
+        conn.executescript(V1_FIXTURE.read_text(encoding="utf-8"))
+        conn.commit()
+        conn.close()
+
+    def test_v1_fixture_migrates_in_place(self, tmp_path, plan_doc):
+        path = tmp_path / "store.db"
+        self.build_v1(path)
+        with PlanSetStore(path) as store:
+            assert store.schema_version() == SCHEMA_VERSION
+            assert store.counters.migrations == 1
+            # The legacy row survives and still answers exact hits.
+            legacy = store.get("sig-legacy")
+            assert legacy is not None and legacy["entries"] == []
+            # The migrated database accepts current-version writes with
+            # feature vectors (tables added by the migration).
+            store.register("sig-new", family="fam", scenario="cloud",
+                           features=(1.0, 2.0))
+            assert store.put("sig-new", plan_doc)
+            assert store.nearest("fam", (1.0, 2.0))
+        # Reopening the migrated file applies no further migrations.
+        with PlanSetStore(path) as store:
+            assert store.counters.migrations == 0
+
+    def test_future_version_refused_not_destroyed(self, tmp_path):
+        path = tmp_path / "store.db"
+        with PlanSetStore(path) as store:
+            pass
+        conn = sqlite3.connect(path)
+        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1}")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreSchemaError, match="newer"):
+            PlanSetStore(path)
+        # Refusal must not quarantine or rewrite the file.
+        assert path.exists() and not (tmp_path / "store.db.corrupt"
+                                      ).exists()
+
+
+class TestRobustness:
+    def test_corrupted_file_degrades_to_cold_start(self, tmp_path,
+                                                   plan_doc):
+        path = tmp_path / "store.db"
+        path.write_bytes(b"this is not a sqlite database" * 64)
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            store = PlanSetStore(path)
+        try:
+            assert store.counters.corruption_recoveries == 1
+            assert len(store) == 0
+            # The broken file is preserved for post-mortem ...
+            assert (tmp_path / "store.db.corrupt").exists()
+            # ... and the fresh store is fully usable.
+            assert store.put("sig-a", plan_doc)
+            assert store.get("sig-a") == plan_doc
+        finally:
+            store.close()
+
+    def test_concurrent_writers_share_one_wal_file(self, tmp_path,
+                                                   plan_doc):
+        path = tmp_path / "store.db"
+        first, second = PlanSetStore(path), PlanSetStore(path)
+        errors = []
+
+        def hammer(store, prefix):
+            try:
+                for i in range(25):
+                    store.put(f"{prefix}-{i}", plan_doc)
+                    store.get(f"{prefix}-{i}")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(first, "a")),
+                   threading.Thread(target=hammer, args=(second, "b"))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        first.close()
+        second.close()
+        with PlanSetStore(path) as check:
+            assert len(check) == 50
+            assert check.get("a-0") == plan_doc
+            assert check.get("b-24") == plan_doc
+
+    def test_flush_truncates_wal(self, tmp_path, plan_doc):
+        path = tmp_path / "store.db"
+        with PlanSetStore(path) as store:
+            store.put("sig-a", plan_doc)
+            store.flush()
+            wal = tmp_path / "store.db-wal"
+            assert not wal.exists() or wal.stat().st_size == 0
+
+
+class TestPersistence:
+    """A store file written by one run is warm for the next.
+
+    Locally this round-trips through two :class:`PlanSetStore`
+    instances in one process.  The CI persistence leg additionally runs
+    this module *twice* with ``REPRO_STORE_PERSIST_DB`` pointing at one
+    database in a job tmpdir: the first pass populates it, the second
+    pass must find the entry already there (a genuine cross-process
+    reopen).
+    """
+
+    QUERY_SEED = 11
+
+    def canonical_entry(self):
+        query = QueryGenerator(seed=self.QUERY_SEED).generate(
+            num_tables=3, shape="chain", num_params=1)
+        signature = query_signature(query, scenario="cloud")
+        return query, signature
+
+    def test_store_file_survives_reopen(self, tmp_path):
+        env_path = os.environ.get("REPRO_STORE_PERSIST_DB")
+        path = env_path or str(tmp_path / "persist.db")
+        query, signature = self.canonical_entry()
+        store = PlanSetStore(path)
+        try:
+            already_warm = store.get(signature) is not None
+            if already_warm:
+                # Second pass (CI persistence leg): the previous run's
+                # write must be visible as an exact hit.
+                assert store.counters.exact_hits == 1
+                return
+            assert env_path is None or len(store) == 0
+            result = get_scenario("cloud").optimize(query, resolution=2)
+            doc = encode_result(result)
+            doc.setdefault("alpha", 0.0)
+            doc.setdefault("guarantee", 1.0)
+            store.register(signature, family=family_digest(
+                query, scenario="cloud", resolution=2, options=None),
+                scenario="cloud",
+                stats_digest=statistics_digest(query),
+                num_tables=query.num_tables,
+                features=signature_features(query))
+            assert store.put(signature, doc)
+        finally:
+            store.close()
+        with PlanSetStore(path) as reopened:
+            assert reopened.get(signature) is not None
+
+
+class TestDependencyHygiene:
+    STDLIB_OK = {"__future__", "dataclasses", "json", "math", "os",
+                 "sqlite3", "threading", "typing", "warnings"}
+
+    def test_store_package_imports_stdlib_only(self):
+        package = REPO_ROOT / "src" / "repro" / "store"
+        for module in sorted(package.glob("*.py")):
+            tree = ast.parse(module.read_text(encoding="utf-8"))
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Import):
+                    roots = {alias.name.split(".")[0]
+                             for alias in node.names}
+                elif isinstance(node, ast.ImportFrom):
+                    if node.level > 0:  # intra-package, fine
+                        continue
+                    roots = {(node.module or "").split(".")[0]}
+                else:
+                    continue
+                foreign = roots - self.STDLIB_OK
+                assert not foreign, (
+                    f"{module.name} imports non-stdlib {sorted(foreign)}"
+                    f" — the store tier must not grow dependencies")
+
+    def test_no_new_runtime_dependencies(self):
+        # The store rides on stdlib sqlite3: the project's runtime
+        # dependency list must stay exactly numpy + scipy.
+        text = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+        block = text.split("dependencies = [", 1)[1].split("]", 1)[0]
+        deps = sorted(json.loads(f"[{line.strip().rstrip(',')}]")[0]
+                      .split(">=")[0].strip()
+                      for line in block.strip().splitlines())
+        assert deps == ["numpy", "scipy"]
