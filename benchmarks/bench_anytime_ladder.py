@@ -58,9 +58,9 @@ def test_anytime_ladder(benchmark, scenario):
 def _ladder(text: str) -> tuple[float, ...]:
     try:
         return tuple(float(a) for a in text.split(","))
-    except ValueError:
+    except ValueError as exc:
         raise argparse.ArgumentTypeError(
-            f"expected comma-separated alphas, got {text!r}")
+            f"expected comma-separated alphas, got {text!r}") from exc
 
 
 def main() -> None:

@@ -90,7 +90,7 @@ def test_mq_sampling_coverage_gap(benchmark, query, model):
     for x in np.linspace(0.05, 0.95, 10):
         for weights in ({"time": 1.0}, {"fees": 1.0},
                         {"time": 1.0, "fees": 1.0}):
-            def score(plan):
+            def score(plan, x=x, weights=weights):
                 cost = model.plan_cost(plan).evaluate([x])
                 return sum(weights.get(m, 0) * v for m, v in cost.items())
             mq_best = min(score(p) for p in mq_plans)

@@ -122,9 +122,9 @@ def test_batch_beats_or_matches_reoptimization(benchmark):
 def _workers_list(text: str) -> tuple[int, ...]:
     try:
         return tuple(int(w) for w in text.split(","))
-    except ValueError:
+    except ValueError as exc:
         raise argparse.ArgumentTypeError(
-            f"expected comma-separated worker counts, got {text!r}")
+            f"expected comma-separated worker counts, got {text!r}") from exc
 
 
 def main() -> None:

@@ -30,7 +30,7 @@ def check_s1_single_metric(example_space: ConvexPolytope,
     """
     lows, highs = [0.0], [1.0]
     xs = np.linspace(lows[0], highs[0], samples)
-    for idx, mine in enumerate(costs):
+    for mine in costs:
         optimal_flags = []
         for x in xs:
             value = mine.evaluate([x])

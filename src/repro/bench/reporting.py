@@ -9,7 +9,7 @@ series as aligned tables plus coarse ASCII log-scale charts so curve
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 from .runner import (AggregatedPoint, AnytimeLadderReport, LPKernelPoint,
                      StreamingPoint, ThroughputPoint)

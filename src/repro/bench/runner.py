@@ -423,7 +423,7 @@ def run_lp_queue_probe(points: tuple[SweepPoint, ...]
     for point in points:
         query = queries_for_point(point, 1, base_seed=base_seed)[0]
         optimizer = PWLRRPA(
-            cost_model_factory=lambda q: CloudCostModel(
+            cost_model_factory=lambda q, point=point: CloudCostModel(
                 q, resolution=point.resolution),
             options=PWLRRPAOptions())
         result = optimizer.optimize(query)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..errors import CatalogError
 from .index import Index
@@ -24,7 +24,7 @@ class Catalog:
 
     @staticmethod
     def from_tables(tables: Iterable[Table],
-                    indexes: Iterable[Index] = ()) -> "Catalog":
+                    indexes: Iterable[Index] = ()) -> Catalog:
         """Build a catalog, validating uniqueness and references."""
         catalog = Catalog()
         for table in tables:

@@ -12,7 +12,8 @@ functions over a finite parameter grid.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from ..plans import JoinOperator, ScanOperator, ScanPlan
 

@@ -16,7 +16,7 @@ such as the Postgres optimizer" (Section 7):
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterator
+from collections.abc import Iterator
 
 from ..query import Query
 

@@ -22,7 +22,7 @@ The grid backend serves three purposes:
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

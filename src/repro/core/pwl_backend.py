@@ -18,7 +18,7 @@ functions:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..cost import (MultiObjectivePWL, accumulator_map,
                     batch_dominance_aligned)

@@ -67,7 +67,7 @@ class PWLRRPA:
         return self.cost_model_factory(query)
 
     def start_run(self, query: Query, *, precision_ladder=None,
-                  on_event=None, seed_plans=None) -> "OptimizationRun":
+                  on_event=None, seed_plans=None) -> OptimizationRun:
         """Create a resumable run, building the cost model via the
         factory (see :meth:`start_run_with_model`)."""
         return self.start_run_with_model(
@@ -78,7 +78,7 @@ class PWLRRPA:
     def start_run_with_model(self, query: Query, cost_model, *,
                              precision_ladder=None,
                              on_event=None,
-                             seed_plans=None) -> "OptimizationRun":
+                             seed_plans=None) -> OptimizationRun:
         """Create a resumable :class:`~repro.core.run.OptimizationRun`.
 
         The run can be advanced stepwise, bounded by

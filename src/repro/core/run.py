@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from ..errors import OptimizationError
 from ..plans import JoinPlan, Plan, ScanPlan, combine
@@ -162,7 +163,7 @@ class ProgressEvent:
                 "lps_solved": self.lps_solved, "seconds": self.seconds}
 
     @staticmethod
-    def from_dict(doc: dict) -> "ProgressEvent":
+    def from_dict(doc: dict) -> ProgressEvent:
         """Rebuild an event shipped across a process boundary."""
         return ProgressEvent(
             kind=doc["kind"], rung=doc["rung"], alpha=doc["alpha"],
@@ -197,7 +198,7 @@ def guarantee_bound(alpha: float, num_tables: int) -> float:
 class _BudgetWindow:
     """Budget accounting scoped to one ``run()``/``iter_run()`` call."""
 
-    def __init__(self, budget: Budget | None, run: "OptimizationRun"):
+    def __init__(self, budget: Budget | None, run: OptimizationRun):
         self.budget = budget
         self._run = run
         self._started = time.perf_counter()

@@ -18,7 +18,7 @@ selection step for the common preference shapes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 

@@ -111,7 +111,7 @@ def encode_result(result: OptimizationResult) -> dict:
             "entries": entries}
 
 
-def encode_plan_set(plan_set: "StoredPlanSet") -> dict:
+def encode_plan_set(plan_set: StoredPlanSet) -> dict:
     """Encode a reloaded :class:`StoredPlanSet` back into a document.
 
     Exact inverse of :func:`decode_plan_set` — a decode/encode round
@@ -271,5 +271,5 @@ def decode_plan_set(doc: dict) -> StoredPlanSet:
 
 def load_plan_set(path) -> StoredPlanSet:
     """Load a stored plan set from a JSON file."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         return decode_plan_set(json.load(handle))

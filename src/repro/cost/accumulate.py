@@ -14,7 +14,7 @@ all preserve piecewise linearity.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ..lp import LinearProgramSolver
 from .metrics import CostMetric

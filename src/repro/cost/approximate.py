@@ -20,7 +20,7 @@ in :mod:`repro.cost.pwl` and :mod:`repro.cost.vector`.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
 import numpy as np
 

@@ -53,17 +53,17 @@ class LinearPiece:
         """Return whether ``x`` lies in this piece's region."""
         return self.region.contains_point(x)
 
-    def shifted(self, delta_w, delta_b: float) -> "LinearPiece":
+    def shifted(self, delta_w, delta_b: float) -> LinearPiece:
         """Return a piece on the same region with ``w + delta_w, b + delta_b``."""
         return LinearPiece(region=self.region,
                            w=np.asarray(self.w) + np.asarray(delta_w),
                            b=self.b + float(delta_b))
 
-    def scaled(self, factor: float) -> "LinearPiece":
+    def scaled(self, factor: float) -> LinearPiece:
         """Return a piece on the same region with cost multiplied by ``factor``."""
         return LinearPiece(region=self.region, w=np.asarray(self.w) * factor,
                            b=self.b * factor)
 
-    def restricted(self, region: ConvexPolytope) -> "LinearPiece":
+    def restricted(self, region: ConvexPolytope) -> LinearPiece:
         """Return the same linear function on a (smaller) region."""
         return LinearPiece(region=region, w=self.w, b=self.b)

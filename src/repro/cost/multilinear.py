@@ -21,7 +21,7 @@ where ``exponents`` is an integer tuple of length ``num_params``.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 import numpy as np
 
@@ -59,7 +59,7 @@ class ParamPolynomial:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def constant(num_params: int, value: float) -> "ParamPolynomial":
+    def constant(num_params: int, value: float) -> ParamPolynomial:
         """The constant polynomial ``value``."""
         if value == 0.0:
             return ParamPolynomial(num_params)
@@ -67,7 +67,7 @@ class ParamPolynomial:
                                {(0,) * num_params: float(value)})
 
     @staticmethod
-    def variable(num_params: int, index: int) -> "ParamPolynomial":
+    def variable(num_params: int, index: int) -> ParamPolynomial:
         """The polynomial ``x[index]``."""
         if not 0 <= index < num_params:
             raise IndexError(f"parameter index {index} out of range")
@@ -111,7 +111,7 @@ class ParamPolynomial:
                 w[exps.index(1)] = coeff
         return w, b
 
-    def lifted(self, num_params: int) -> "ParamPolynomial":
+    def lifted(self, num_params: int) -> ParamPolynomial:
         """Re-express the polynomial over a larger parameter vector.
 
         The added trailing parameters have exponent zero in every
@@ -153,11 +153,11 @@ class ParamPolynomial:
     # Arithmetic
     # ------------------------------------------------------------------
 
-    def _check(self, other: "ParamPolynomial") -> None:
+    def _check(self, other: ParamPolynomial) -> None:
         if self.num_params != other.num_params:
             raise ValueError("mixing polynomials over different parameters")
 
-    def __add__(self, other) -> "ParamPolynomial":
+    def __add__(self, other) -> ParamPolynomial:
         if isinstance(other, (int, float)):
             other = ParamPolynomial.constant(self.num_params, float(other))
         self._check(other)
@@ -168,19 +168,19 @@ class ParamPolynomial:
 
     __radd__ = __add__
 
-    def __neg__(self) -> "ParamPolynomial":
+    def __neg__(self) -> ParamPolynomial:
         return ParamPolynomial(
             self.num_params, {e: -c for e, c in self.monomials.items()})
 
-    def __sub__(self, other) -> "ParamPolynomial":
+    def __sub__(self, other) -> ParamPolynomial:
         if isinstance(other, (int, float)):
             other = ParamPolynomial.constant(self.num_params, float(other))
         return self + (-other)
 
-    def __rsub__(self, other) -> "ParamPolynomial":
+    def __rsub__(self, other) -> ParamPolynomial:
         return (-self) + other
 
-    def __mul__(self, other) -> "ParamPolynomial":
+    def __mul__(self, other) -> ParamPolynomial:
         if isinstance(other, (int, float)):
             return ParamPolynomial(
                 self.num_params,

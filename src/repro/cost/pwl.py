@@ -23,7 +23,7 @@ the special case where all intersections are exact region matches.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -70,14 +70,14 @@ class PiecewiseLinearFunction:
 
     @staticmethod
     def constant(space: ConvexPolytope, value: float,
-                 partition_token=None) -> "PiecewiseLinearFunction":
+                 partition_token=None) -> PiecewiseLinearFunction:
         """The constant function ``value`` on ``space``."""
         piece = LinearPiece(region=space, w=np.zeros(space.dim), b=value)
         return PiecewiseLinearFunction(space.dim, [piece], partition_token)
 
     @staticmethod
     def affine(space: ConvexPolytope, w, b: float,
-               partition_token=None) -> "PiecewiseLinearFunction":
+               partition_token=None) -> PiecewiseLinearFunction:
         """The affine function ``w @ x + b`` on ``space``."""
         piece = LinearPiece(region=space, w=np.asarray(w, dtype=float), b=b)
         return PiecewiseLinearFunction(space.dim, [piece], partition_token)
@@ -87,7 +87,7 @@ class PiecewiseLinearFunction:
                                  weights: Sequence[np.ndarray],
                                  bases: Sequence[float],
                                  partition_token=None
-                                 ) -> "PiecewiseLinearFunction":
+                                 ) -> PiecewiseLinearFunction:
         """Assemble a PWL function from parallel region/weight/base lists."""
         if not (len(regions) == len(weights) == len(bases)):
             raise ValueError("regions, weights and bases lengths differ")
@@ -127,14 +127,14 @@ class PiecewiseLinearFunction:
     # Arithmetic (Algorithm 3 building blocks)
     # ------------------------------------------------------------------
 
-    def _same_partition(self, other: "PiecewiseLinearFunction") -> bool:
+    def _same_partition(self, other: PiecewiseLinearFunction) -> bool:
         return (self.partition_token is not None
                 and self.partition_token == other.partition_token
                 and len(self.pieces) == len(other.pieces))
 
-    def add(self, other: "PiecewiseLinearFunction",
+    def add(self, other: PiecewiseLinearFunction,
             solver: LinearProgramSolver | None = None
-            ) -> "PiecewiseLinearFunction":
+            ) -> PiecewiseLinearFunction:
         """Pointwise sum (the core of ``AccumulateCost``, Algorithm 3).
 
         On the shared-partition fast path no LP is solved; otherwise each
@@ -174,9 +174,9 @@ class PiecewiseLinearFunction:
             raise EmptyRegionError("sum has no non-empty piece region")
         return PiecewiseLinearFunction(self.dim, pieces)
 
-    def _add_general_vectorized(self, other: "PiecewiseLinearFunction",
+    def _add_general_vectorized(self, other: PiecewiseLinearFunction,
                                 solver: LinearProgramSolver
-                                ) -> "PiecewiseLinearFunction":
+                                ) -> PiecewiseLinearFunction:
         """Unaligned addition with NumPy coefficient sums and batched LPs.
 
         Mirrors the scalar general path of :meth:`add` pair for pair: the
@@ -210,14 +210,14 @@ class PiecewiseLinearFunction:
             raise EmptyRegionError("sum has no non-empty piece region")
         return PiecewiseLinearFunction(self.dim, pieces)
 
-    def add_constant(self, value: float) -> "PiecewiseLinearFunction":
+    def add_constant(self, value: float) -> PiecewiseLinearFunction:
         """Return this function shifted by a constant."""
         zero = np.zeros(self.dim)
         pieces = [p.shifted(zero, value) for p in self.pieces]
         return PiecewiseLinearFunction(self.dim, pieces,
                                        self.partition_token)
 
-    def scale(self, factor: float) -> "PiecewiseLinearFunction":
+    def scale(self, factor: float) -> PiecewiseLinearFunction:
         """Return this function multiplied by a non-negative constant.
 
         Raises:
@@ -230,7 +230,7 @@ class PiecewiseLinearFunction:
         return PiecewiseLinearFunction(self.dim, pieces,
                                        self.partition_token)
 
-    def _aligned_extremum(self, other: "PiecewiseLinearFunction",
+    def _aligned_extremum(self, other: PiecewiseLinearFunction,
                           take_max: bool
                           ) -> "PiecewiseLinearFunction | None":
         """Try the aligned fast path for max/min.
@@ -260,9 +260,9 @@ class PiecewiseLinearFunction:
         return PiecewiseLinearFunction(self.dim, pieces,
                                        self.partition_token)
 
-    def _combine_extremum(self, other: "PiecewiseLinearFunction",
+    def _combine_extremum(self, other: PiecewiseLinearFunction,
                           solver: LinearProgramSolver,
-                          take_max: bool) -> "PiecewiseLinearFunction":
+                          take_max: bool) -> PiecewiseLinearFunction:
         """Piecewise max/min: split each region overlap at the crossing plane.
 
         The general path decides its emptiness LPs (overlap feasibility
@@ -303,9 +303,9 @@ class PiecewiseLinearFunction:
         return PiecewiseLinearFunction(self.dim, pieces)
 
     def _combine_extremum_vectorized(
-            self, other: "PiecewiseLinearFunction",
+            self, other: PiecewiseLinearFunction,
             solver: LinearProgramSolver,
-            take_max: bool) -> "PiecewiseLinearFunction":
+            take_max: bool) -> PiecewiseLinearFunction:
         """Batched general-path max/min, mirroring the scalar loop.
 
         Round 1 batches the overlap-emptiness LPs of all piece pairs;
@@ -347,13 +347,13 @@ class PiecewiseLinearFunction:
             raise EmptyRegionError("extremum has no non-empty piece region")
         return PiecewiseLinearFunction(self.dim, pieces)
 
-    def maximum(self, other: "PiecewiseLinearFunction",
-                solver: LinearProgramSolver) -> "PiecewiseLinearFunction":
+    def maximum(self, other: PiecewiseLinearFunction,
+                solver: LinearProgramSolver) -> PiecewiseLinearFunction:
         """Pointwise maximum (accumulation for parallel branches)."""
         return self._combine_extremum(other, solver, take_max=True)
 
-    def minimum(self, other: "PiecewiseLinearFunction",
-                solver: LinearProgramSolver) -> "PiecewiseLinearFunction":
+    def minimum(self, other: PiecewiseLinearFunction,
+                solver: LinearProgramSolver) -> PiecewiseLinearFunction:
         """Pointwise minimum."""
         return self._combine_extremum(other, solver, take_max=False)
 
@@ -428,7 +428,7 @@ class PiecewiseLinearFunction:
         return float(lo), float(hi)
 
     def map_pieces(self, fn: Callable[[LinearPiece], LinearPiece]
-                   ) -> "PiecewiseLinearFunction":
+                   ) -> PiecewiseLinearFunction:
         """Apply ``fn`` to every piece, keeping the partition token."""
         return PiecewiseLinearFunction(self.dim,
                                        [fn(p) for p in self.pieces],

@@ -22,7 +22,7 @@ Two execution paths exist, as for addition:
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -65,7 +65,7 @@ class MultiObjectivePWL:
 
     @staticmethod
     def constant(space: ConvexPolytope,
-                 values: Mapping[str, float]) -> "MultiObjectivePWL":
+                 values: Mapping[str, float]) -> MultiObjectivePWL:
         """Constant cost vector on ``space``."""
         return MultiObjectivePWL({
             name: PiecewiseLinearFunction.constant(space, value)
@@ -74,7 +74,7 @@ class MultiObjectivePWL:
     @staticmethod
     def affine(space: ConvexPolytope,
                weights: Mapping[str, Sequence[float]],
-               bases: Mapping[str, float]) -> "MultiObjectivePWL":
+               bases: Mapping[str, float]) -> MultiObjectivePWL:
         """Affine cost vector ``w_m @ x + b_m`` per metric on ``space``."""
         if set(weights) != set(bases):
             raise ValueError("weights and bases must cover the same metrics")
@@ -130,7 +130,7 @@ class MultiObjectivePWL:
         self._stack_cache = (w, b)
         return self._stack_cache
 
-    def same_partition(self, other: "MultiObjectivePWL") -> bool:
+    def same_partition(self, other: MultiObjectivePWL) -> bool:
         """``True`` when every pair of matching components is aligned."""
         if set(self.components) != set(other.components):
             return False
@@ -146,10 +146,10 @@ class MultiObjectivePWL:
     # Arithmetic
     # ------------------------------------------------------------------
 
-    def add(self, other: "MultiObjectivePWL",
+    def add(self, other: MultiObjectivePWL,
             solver: LinearProgramSolver | None = None,
             accumulators: Mapping[str, str] | None = None
-            ) -> "MultiObjectivePWL":
+            ) -> MultiObjectivePWL:
         """Combine with another cost function metric by metric.
 
         Args:
@@ -177,7 +177,7 @@ class MultiObjectivePWL:
     # Dominance (Algorithm 3, function Dom)
     # ------------------------------------------------------------------
 
-    def dominance_polytopes(self, other: "MultiObjectivePWL",
+    def dominance_polytopes(self, other: MultiObjectivePWL,
                             solver: LinearProgramSolver,
                             relax: float = 0.0) -> list[ConvexPolytope]:
         """Return convex polytopes covering ``Dom(self, other)``.
@@ -213,7 +213,7 @@ class MultiObjectivePWL:
         return self._dominance_general_vectorized(other, solver,
                                                   relax=relax)
 
-    def _dominance_aligned(self, other: "MultiObjectivePWL",
+    def _dominance_aligned(self, other: MultiObjectivePWL,
                            solver: LinearProgramSolver,
                            relax: float = 0.0) -> list[ConvexPolytope]:
         """Aligned fast path: one candidate polytope per shared region.
@@ -289,7 +289,7 @@ class MultiObjectivePWL:
             return resolved
         return polys
 
-    def _dominance_general(self, other: "MultiObjectivePWL",
+    def _dominance_general(self, other: MultiObjectivePWL,
                            solver: LinearProgramSolver,
                            relax: float = 0.0) -> list[ConvexPolytope]:
         """The paper's general ``Dom``: per-metric polytopes, then products."""
@@ -330,7 +330,7 @@ class MultiObjectivePWL:
                 return []
         return combined
 
-    def _dominance_general_vectorized(self, other: "MultiObjectivePWL",
+    def _dominance_general_vectorized(self, other: MultiObjectivePWL,
                                       solver: LinearProgramSolver,
                                       relax: float = 0.0
                                       ) -> list[ConvexPolytope]:
@@ -406,14 +406,14 @@ class MultiObjectivePWL:
                 return []
         return combined
 
-    def dominates_at(self, other: "MultiObjectivePWL", x,
+    def dominates_at(self, other: MultiObjectivePWL, x,
                      tol: float = 1e-9) -> bool:
         """Pointwise dominance test at parameter vector ``x``."""
         mine = self.evaluate(x)
         theirs = other.evaluate(x)
         return all(mine[m] <= theirs[m] + tol for m in self.components)
 
-    def strictly_dominates_at(self, other: "MultiObjectivePWL", x,
+    def strictly_dominates_at(self, other: MultiObjectivePWL, x,
                               tol: float = 1e-9) -> bool:
         """Pointwise strict dominance (dominates and differs) at ``x``."""
         mine = self.evaluate(x)

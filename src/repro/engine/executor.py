@@ -43,7 +43,7 @@ class Relation:
             return 0
         return int(next(iter(self.columns.values())).shape[0])
 
-    def take(self, indices: np.ndarray) -> "Relation":
+    def take(self, indices: np.ndarray) -> Relation:
         """Row subset by index array."""
         return Relation({name: arr[indices]
                          for name, arr in self.columns.items()})

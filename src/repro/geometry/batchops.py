@@ -16,7 +16,7 @@ vectorized kernels).
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

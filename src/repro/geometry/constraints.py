@@ -36,7 +36,7 @@ class LinearConstraint:
     b: float
 
     @staticmethod
-    def make(a, b: float) -> "LinearConstraint":
+    def make(a, b: float) -> LinearConstraint:
         """Create a normalized constraint ``a @ x <= b``.
 
         Args:
@@ -86,7 +86,7 @@ class LinearConstraint:
         x = np.asarray(x, dtype=float).reshape(-1)
         return float(self.b - self.a @ x)
 
-    def negation(self) -> "LinearConstraint":
+    def negation(self) -> LinearConstraint:
         """Return the closed complement halfspace ``a @ x >= b``.
 
         The complement of an open halfspace is closed; we return the
@@ -97,7 +97,7 @@ class LinearConstraint:
         """
         return LinearConstraint.make(-self.a, -self.b)
 
-    def same_halfspace(self, other: "LinearConstraint",
+    def same_halfspace(self, other: LinearConstraint,
                        tol: float = 1e-6) -> bool:
         """Return whether two normalized constraints describe the same halfspace."""
         if self.dim != other.dim:

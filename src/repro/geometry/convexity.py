@@ -21,7 +21,7 @@ check reuses :mod:`repro.geometry.difference`.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..lp import LinearProgramSolver
 from .constraints import LinearConstraint

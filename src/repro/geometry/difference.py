@@ -13,7 +13,7 @@ from the parameter space leaves nothing (up to measure zero).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 from ..lp import LinearProgramSolver
 from ..util import scalar_kernels_enabled
@@ -113,7 +113,7 @@ def subtract_polytope_many_iter(bases: Sequence[ConvexPolytope],
     empty = emptiness_many_deferred(bases, solver)
     yield
     live: list[int] = []
-    for i, base in enumerate(bases):
+    for i in range(len(bases)):
         if empty[i].get():
             results[i] = []
         elif not cut.constraints:

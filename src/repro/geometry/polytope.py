@@ -12,7 +12,7 @@ statistics — reproducing the paper's "#solved linear programs" metric.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -83,12 +83,12 @@ class ConvexPolytope:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def universe(dim: int) -> "ConvexPolytope":
+    def universe(dim: int) -> ConvexPolytope:
         """The whole space ``R^dim`` (no constraints)."""
         return ConvexPolytope(dim, ())
 
     @staticmethod
-    def from_arrays(a, b) -> "ConvexPolytope":
+    def from_arrays(a, b) -> ConvexPolytope:
         """Build a polytope from stacked arrays ``A @ x <= b``."""
         a = np.asarray(a, dtype=float)
         b = np.asarray(b, dtype=float).reshape(-1)
@@ -98,7 +98,7 @@ class ConvexPolytope:
         return ConvexPolytope(a.shape[1], cons)
 
     @staticmethod
-    def box(lows: Sequence[float], highs: Sequence[float]) -> "ConvexPolytope":
+    def box(lows: Sequence[float], highs: Sequence[float]) -> ConvexPolytope:
         """Axis-aligned box ``lows <= x <= highs``.
 
         Raises:
@@ -121,7 +121,7 @@ class ConvexPolytope:
         return ConvexPolytope(dim, cons)
 
     @staticmethod
-    def unit_box(dim: int) -> "ConvexPolytope":
+    def unit_box(dim: int) -> ConvexPolytope:
         """The unit hypercube ``[0, 1]^dim`` — the default parameter space."""
         return ConvexPolytope.box([0.0] * dim, [1.0] * dim)
 
@@ -221,7 +221,7 @@ class ConvexPolytope:
     # Set operations
     # ------------------------------------------------------------------
 
-    def intersect(self, other: "ConvexPolytope") -> "ConvexPolytope":
+    def intersect(self, other: ConvexPolytope) -> ConvexPolytope:
         """Intersection with another polytope (constraint union)."""
         if other.dim != self.dim:
             raise DimensionMismatchError(
@@ -234,13 +234,13 @@ class ConvexPolytope:
                            else other.cell_tag)
         return result
 
-    def with_constraint(self, constraint: LinearConstraint) -> "ConvexPolytope":
+    def with_constraint(self, constraint: LinearConstraint) -> ConvexPolytope:
         """Return this polytope with one extra constraint added."""
         result = ConvexPolytope(self.dim, self.constraints + (constraint,))
         result.cell_tag = self.cell_tag
         return result
 
-    def contains_polytope(self, other: "ConvexPolytope",
+    def contains_polytope(self, other: ConvexPolytope,
                           solver: LinearProgramSolver,
                           tol: float = 1e-7) -> bool:
         """Decide ``other ⊆ self`` by maximizing each constraint over ``other``.
@@ -266,7 +266,7 @@ class ConvexPolytope:
         return True
 
     def remove_redundant(self, solver: LinearProgramSolver,
-                         tol: float = 1e-7) -> "ConvexPolytope":
+                         tol: float = 1e-7) -> ConvexPolytope:
         """Drop constraints implied by the remaining ones.
 
         This is the first refinement of Section 6.2 of the paper
@@ -337,9 +337,9 @@ class ConvexPolytope:
             if abs(np.linalg.det(a)) < 1e-10:
                 continue
             x = np.linalg.solve(a, b)
-            if self.contains_point(x, tol=tol):
-                if not any(np.allclose(x, v, atol=1e-6) for v in verts):
-                    verts.append(x)
+            if self.contains_point(x, tol=tol) and not any(
+                    np.allclose(x, v, atol=1e-6) for v in verts):
+                verts.append(x)
         return verts
 
     def sample_grid_points(self, solver: LinearProgramSolver,

@@ -26,7 +26,7 @@ solved to prove non-emptiness.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -115,7 +115,7 @@ class RelevanceRegion:
         """Surviving witness points, or ``None`` when the refinement is off."""
         return self._points
 
-    def copy(self) -> "RelevanceRegion":
+    def copy(self) -> RelevanceRegion:
         """Return an independent copy (cutouts list and points are copied)."""
         clone = RelevanceRegion(self.space)
         clone.cutouts = list(self.cutouts)

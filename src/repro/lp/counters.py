@@ -274,7 +274,7 @@ class LPStats:
         self._by_purpose.clear()
         self._seconds_by_purpose.clear()
 
-    def merge(self, other: "LPStats") -> None:
+    def merge(self, other: LPStats) -> None:
         """Add the counts of ``other`` into this instance."""
         self.solved += other.solved
         self.infeasible += other.infeasible

@@ -35,7 +35,8 @@ as it would have under eager dispatch).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Hashable
+from collections.abc import Callable, Hashable
+from typing import Any
 
 from ..errors import SolverError
 from .solver import MIN_STACK_GROUP, LinearProgramSolver, LPResult, \
@@ -61,7 +62,7 @@ class LPFuture:
     __slots__ = ("purpose", "prekey", "_queue", "_result", "_resolved",
                  "_callback")
 
-    def __init__(self, queue: "DeferredLPQueue", purpose: str,
+    def __init__(self, queue: DeferredLPQueue, purpose: str,
                  prekey: tuple,
                  callback: Callable[[LPResult], None] | None) -> None:
         self.purpose = purpose
@@ -123,13 +124,13 @@ class LazyValue:
             self._reader = reader
 
     @classmethod
-    def resolved(cls, value: Any) -> "LazyValue":
+    def resolved(cls, value: Any) -> LazyValue:
         """A lazy value already holding its answer (no LP behind it)."""
         return cls(value)
 
     @classmethod
     def deferred(cls, future: LPFuture,
-                 reader: Callable[[LPResult], Any]) -> "LazyValue":
+                 reader: Callable[[LPResult], Any]) -> LazyValue:
         """A lazy value computed by ``reader`` from ``future``'s result."""
         return cls(future=future, reader=reader)
 
@@ -145,7 +146,7 @@ class LazyValue:
             self._reader = None
         return self._value
 
-    def map(self, fn: Callable[[Any], Any]) -> "LazyValue":
+    def map(self, fn: Callable[[Any], Any]) -> LazyValue:
         """A lazy value applying ``fn`` to this one's eventual value.
 
         Shares the underlying future (no extra LP); a resolved input

@@ -20,7 +20,7 @@ import math
 import threading
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -10,7 +10,7 @@ paper's ``Combine(p1, p2, o)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from ..errors import PlanError
 from .operators import JoinOperator, ScanOperator
@@ -24,7 +24,7 @@ class Plan:
         """The set of base tables the plan joins."""
         raise NotImplementedError
 
-    def nodes(self) -> Iterator["Plan"]:
+    def nodes(self) -> Iterator[Plan]:
         """Yield all nodes of the plan tree (pre-order)."""
         raise NotImplementedError
 
@@ -44,11 +44,9 @@ class Plan:
 
     def is_left_deep(self) -> bool:
         """``True`` when every right join input is a base-table scan."""
-        for node in self.nodes():
-            if isinstance(node, JoinPlan) and not isinstance(
-                    node.right, ScanPlan):
-                return False
-        return True
+        return all(not isinstance(node, JoinPlan)
+                   or isinstance(node.right, ScanPlan)
+                   for node in self.nodes())
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,7 @@ the graph abstraction used for
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from .predicates import JoinPredicate
 

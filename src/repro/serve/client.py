@@ -11,7 +11,7 @@ from __future__ import annotations
 import http.client
 import json
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from ..query import Query
 from .protocol import query_to_doc
@@ -97,7 +97,7 @@ class GatewayClient:
             payload["budget"] = budget
         if deadline_seconds is not None:
             payload["deadline_seconds"] = deadline_seconds
-        return json.dumps(payload).encode("utf-8")
+        return json.dumps(payload).encode()
 
     # -- endpoints -----------------------------------------------------
 

@@ -273,7 +273,7 @@ class ServingGateway:
     @staticmethod
     def _response_bytes(status: int, payload: dict,
                         extra_headers: tuple = ()) -> bytes:
-        body = json.dumps(payload).encode("utf-8")
+        body = json.dumps(payload).encode()
         head = (f"HTTP/1.1 {status} {_REASONS[status]}\r\n"
                 f"Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
@@ -611,7 +611,7 @@ class GatewayHandle:
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout)
 
-    def __enter__(self) -> "GatewayHandle":
+    def __enter__(self) -> GatewayHandle:
         return self
 
     def __exit__(self, *exc_info) -> None:

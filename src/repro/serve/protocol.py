@@ -250,7 +250,7 @@ def parse_optimize_request(body: bytes | str) -> OptimizeRequest:
 
 def ndjson_line(doc: dict) -> bytes:
     """One NDJSON frame: compact JSON plus the line terminator."""
-    return json.dumps(doc, separators=(",", ":")).encode("utf-8") + b"\n"
+    return json.dumps(doc, separators=(",", ":")).encode() + b"\n"
 
 
 def event_to_wire(event: ProgressEvent) -> dict:

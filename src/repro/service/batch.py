@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..core import PWLRRPAOptions
 from ..query import Query

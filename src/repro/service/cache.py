@@ -115,7 +115,7 @@ class WarmStartCache:
         path = self._path_for(signature)
         if path is not None:
             try:
-                with open(path, "r", encoding="utf-8") as handle:
+                with open(path, encoding="utf-8") as handle:
                     stored = json.load(handle)
             except (OSError, ValueError):
                 with self._lock:
@@ -153,7 +153,7 @@ class WarmStartCache:
         if path is None:
             return None
         try:
-            with open(path, "r", encoding="utf-8") as handle:
+            with open(path, encoding="utf-8") as handle:
                 return self._unwrap(json.load(handle))
         except (OSError, ValueError):
             return None

@@ -37,7 +37,8 @@ register those in a module the workers import.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from ..core import OptimizationResult, PWLRRPA, PWLRRPAOptions
 from ..cost import APPROX_METRICS, CLOUD_METRICS, CostMetric

@@ -52,7 +52,6 @@ free.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import pickle
 import queue as queue_module
 import time
@@ -61,13 +60,14 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures import as_completed as _futures_as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 from ..core import (DEFAULT_SEED_CAP, RUN_COMPLETED, SEED_JUMP_ALPHA, Budget,
                     OptimizerStats, ProgressEvent, PWLRRPAOptions,
                     StoredPlanSet, decode_plan, decode_plan_set,
                     encode_result, ladder_to, trim_ladder_for_seed,
                     validate_ladder)
+from .. import config
 from ..errors import OptimizationError
 from ..lp import (LPResultCache, install_shared_lp_cache,
                   shared_lp_cache)
@@ -455,7 +455,7 @@ class OptimizerSession:
         """``True`` once :meth:`close` ran."""
         return self._closed
 
-    def __enter__(self) -> "OptimizerSession":
+    def __enter__(self) -> OptimizerSession:
         self._check_open()
         return self
 
@@ -648,8 +648,7 @@ class OptimizerSession:
         store = getattr(self.cache, "store", None)
         if (store is None or not self.warm_start
                 or not ladder or ladder[0] <= 0
-                or os.environ.get("REPRO_STORE_SEED",
-                                  "1").lower() in ("0", "false", "off")):
+                or not config.enabled("REPRO_STORE_SEED")):
             return None
         effective = options if options is not None else self.options
         try:
@@ -688,7 +687,7 @@ class OptimizerSession:
         (:data:`repro.core.run.DEFAULT_SEED_CAP`).
         ``REPRO_STORE_SEED_BREADTH`` forces ``all`` or ``one``.
         """
-        raw = os.environ.get("REPRO_STORE_SEED_BREADTH", "auto").lower()
+        raw = config.value("REPRO_STORE_SEED_BREADTH")
         if raw == "all":
             return None
         if raw == "one":
@@ -706,13 +705,8 @@ class OptimizerSession:
         (:data:`repro.core.run.SEED_JUMP_ALPHA`); unparseable values
         fall back to the default.
         """
-        raw = os.environ.get("REPRO_STORE_SEED_ALPHA")
-        if raw is None:
-            return SEED_JUMP_ALPHA
-        try:
-            return float(raw)
-        except ValueError:
-            return SEED_JUMP_ALPHA
+        parsed = config.value("REPRO_STORE_SEED_ALPHA")
+        return SEED_JUMP_ALPHA if parsed is None else parsed
 
     def _seeded_ladder(self, ladder: tuple) -> tuple:
         """Trim a default ladder for a seeded (warm) run.
@@ -1011,7 +1005,7 @@ class OptimizerSession:
         except FutureTimeoutError:
             self._timed_out = True
             still_running = False
-            for item_future, (index, signature, raw) in in_flight.items():
+            for index, signature, raw in in_flight.values():
                 # Unstarted tasks are cancelled to free the pool; a task
                 # a worker is already executing cannot be stopped that
                 # way and forces a pool recycle below.

@@ -89,7 +89,7 @@ def query_signature(query: Query, *, scenario: str = "cloud",
 
 def _digest(doc: dict) -> str:
     payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 # ----------------------------------------------------------------------

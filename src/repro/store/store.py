@@ -25,7 +25,7 @@ import os
 import sqlite3
 import threading
 import warnings
-from typing import Sequence
+from collections.abc import Sequence
 
 from .codec import (StoreRecord, decode_document, decode_features,
                     document_box, encode_document, encode_features)
@@ -127,7 +127,7 @@ class PlanSetStore:
         """Whether :meth:`close` has run."""
         return self._conn is None
 
-    def __enter__(self) -> "PlanSetStore":
+    def __enter__(self) -> PlanSetStore:
         return self
 
     def __exit__(self, *exc_info) -> None:

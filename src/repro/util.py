@@ -7,9 +7,11 @@ and the process-wide switch that forces the scalar geometry kernels.
 
 from __future__ import annotations
 
-import os
 from collections import OrderedDict
-from typing import Any, Hashable
+from collections.abc import Hashable
+from typing import Any
+
+from . import config
 
 
 def scalar_kernels_enabled() -> bool:
@@ -25,7 +27,7 @@ def scalar_kernels_enabled() -> bool:
     Read per call (the check is trivially cheap next to any LP) so tests
     can flip the environment variable with ``monkeypatch.setenv``.
     """
-    return os.environ.get("REPRO_SCALAR_KERNELS", "").strip() not in ("", "0")
+    return config.enabled("REPRO_SCALAR_KERNELS")
 
 
 def deferred_lp_enabled() -> bool:
@@ -45,7 +47,7 @@ def deferred_lp_enabled() -> bool:
     """
     if scalar_kernels_enabled():
         return False
-    return os.environ.get("REPRO_DEFERRED_LP", "1").strip() not in ("", "0")
+    return config.enabled("REPRO_DEFERRED_LP")
 
 
 class BoundedLRU:

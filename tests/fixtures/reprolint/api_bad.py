@@ -1,0 +1,22 @@
+"""Planted REP5xx violations.
+
+Expected findings: REP501 x3 (duplicate entry, phantom export,
+unexported public def), REP502 x1.
+"""
+
+import warnings
+
+__all__ = ["visible", "ghost", "visible", "old_api"]  # EXPECT REP501 x2
+
+
+def visible():
+    return 1
+
+
+def orphan():  # EXPECT REP501: public def missing from __all__
+    return 2
+
+
+def old_api():
+    warnings.warn("use visible()", DeprecationWarning)  # EXPECT REP502
+    return visible()

@@ -1,0 +1,18 @@
+"""Compliant API surface: no REP5xx findings expected."""
+
+import warnings
+
+__all__ = ["fresh", "legacy"]
+
+
+def fresh():
+    return 1
+
+
+def legacy():
+    warnings.warn("use fresh()", DeprecationWarning, stacklevel=2)
+    return fresh()
+
+
+def _helper():
+    return 0

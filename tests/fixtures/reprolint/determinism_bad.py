@@ -1,0 +1,24 @@
+"""Planted REP1xx violations (linted as ``src/repro/core/...``).
+
+Expected findings: REP101 x1, REP102 x4, REP103 x1.
+"""
+
+import os
+import random  # EXPECT REP102: entropy import
+import time
+import uuid  # EXPECT REP102: entropy import
+
+
+def stamp():
+    return time.time()  # EXPECT REP101: clock read, not allow-listed
+
+
+def tokens():
+    raw = os.urandom(8)  # EXPECT REP102: entropy call
+    tag = uuid.uuid4()  # EXPECT REP102: entropy call
+    return raw, tag, random
+
+
+def shuffle_order(items):
+    candidates = set(items)
+    return [item for item in candidates]  # EXPECT REP103: set iteration

@@ -1,0 +1,23 @@
+"""Compliant bit-identity code: no REP1xx findings expected.
+
+Every pattern here is a deliberate near-miss of a REP1xx rule.
+"""
+
+
+def ordered(items):
+    pending = set(items)
+    if any(item is None for item in pending):  # reducer-wrapped: OK
+        return []
+    count = len(pending)
+    return [item for item in sorted(pending)], count  # sorted copy: OK
+
+
+def over_dict(mapping):
+    # dict iteration is insertion-ordered in CPython — out of REP103's
+    # scope by design (see docs/static-analysis.md).
+    return [key for key in mapping]
+
+
+def seconds_label(value):
+    # Mentioning "time" as data is not reading a clock.
+    return f"time={value:.3f}"

@@ -1,0 +1,24 @@
+"""Planted REP401 violation (path-independent rule).
+
+``hits`` is written under ``self._lock`` in ``put()`` but bare in
+``bump()`` — the torn-state mix REP401 exists to catch.
+
+Expected findings: REP401 x1 (in ``bump``).
+"""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+        self.hits = 0
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+            self.hits += 1
+
+    def bump(self):
+        self.hits += 1  # EXPECT REP401: locked in put(), bare here

@@ -1,0 +1,27 @@
+"""Compliant locking: no REP401 findings expected.
+
+``hits`` is always written under the lock; ``generation`` is always
+written bare (single-writer by design) — consistency either way is
+fine, only the mix is a finding.  ``__init__`` writes are excluded
+(construction precedes sharing).
+"""
+
+import threading
+
+
+class Consistent:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.generation = 0
+
+    def bump(self):
+        with self._lock:
+            self.hits += 1
+
+    def reload(self):
+        with self._lock:
+            self.hits += 1
+
+    def rotate(self):
+        self.generation += 1

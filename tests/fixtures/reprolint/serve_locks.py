@@ -1,0 +1,13 @@
+"""Planted REP402 violations (linted as ``src/repro/serve/...``).
+
+Expected findings: REP402 x2.
+"""
+
+import threading
+from threading import RLock
+
+
+class LoopOwnedState:
+    def __init__(self):
+        self.lock = threading.Lock()  # EXPECT REP402
+        self.rlock = RLock()  # EXPECT REP402 (alias resolves)

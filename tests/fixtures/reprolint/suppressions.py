@@ -1,0 +1,20 @@
+"""Suppression mechanics (linted as ``src/repro/core/...``).
+
+Both REP102 findings below are suppressed in place; the directive on
+``SEED`` matches nothing (REP001) and the ``enable=`` directive is not
+a recognized form (REP002).
+
+Expected findings: REP001 x1, REP002 x1 — and no REP102.
+"""
+
+import random  # reprolint: disable=REP102
+
+SEED = 7  # reprolint: disable=REP101
+
+
+def roll():
+    return random.random()  # reprolint: disable=REP102
+
+
+def bad_directive():
+    return SEED  # reprolint: enable=REP102

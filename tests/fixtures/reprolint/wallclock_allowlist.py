@@ -1,0 +1,17 @@
+"""Allow-list mechanics (linted as ``src/repro/core/run.py``).
+
+``(src/repro/core/run.py, _BudgetWindow.__init__)`` is on
+``WALLCLOCK_ALLOWLIST``; ``_BudgetWindow.other`` is not.
+
+Expected findings: REP101 x1 (in ``other``).
+"""
+
+import time
+
+
+class _BudgetWindow:
+    def __init__(self):
+        self.started = time.perf_counter()  # allow-listed site: OK
+
+    def other(self):
+        return time.perf_counter()  # EXPECT REP101: not allow-listed

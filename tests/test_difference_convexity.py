@@ -18,9 +18,8 @@ def covers_samples(pieces, base, excluded, samples=200, seed=0):
         in_base = base.contains_point(x)
         in_excl = any(e.contains_point(x, tol=-1e-9) for e in excluded)
         in_pieces = any(p.contains_point(x) for p in pieces)
-        if in_base and not in_excl:
-            if not in_pieces:
-                return False
+        if in_base and not in_excl and not in_pieces:
+            return False
         if not in_base and in_pieces:
             return False
     return True

@@ -52,16 +52,15 @@ class TestLifecycle:
             session.submit(query)
         with pytest.raises(RuntimeError, match="closed"):
             list(session.as_completed([query]))
-        with pytest.raises(RuntimeError, match="closed"):
-            with session:
-                pass
+        with pytest.raises(RuntimeError, match="closed"), session:
+            pass
 
     def test_unknown_scenario_fails_fast(self):
         with pytest.raises(KeyError, match="available"):
             OptimizerSession("no-such-scenario")
-        with OptimizerSession("cloud") as session:
-            with pytest.raises(KeyError, match="available"):
-                session.map(make_queries(1), scenario="no-such-scenario")
+        with OptimizerSession("cloud") as session, \
+                pytest.raises(KeyError, match="available"):
+            session.map(make_queries(1), scenario="no-such-scenario")
 
     def test_validation(self):
         with pytest.raises(ValueError):

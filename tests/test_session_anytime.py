@@ -97,10 +97,10 @@ class TestAnytimeOptimize:
 
     def test_precision_ladder_and_precision_must_agree(self):
         query = make_query(seed=7, num_tables=2)
-        with OptimizerSession("cloud") as session:
-            with pytest.raises(ValueError, match="end at precision"):
-                session.optimize(query, precision=0.0,
-                                 precision_ladder=(0.5, 0.2))
+        with OptimizerSession("cloud") as session, \
+                pytest.raises(ValueError, match="end at precision"):
+            session.optimize(query, precision=0.0,
+                             precision_ladder=(0.5, 0.2))
 
     def test_pooled_budget_expiry_keeps_pool_alive(self):
         """Cooperative cancellation: the worker stops itself, the pool
@@ -279,10 +279,10 @@ class TestOptimizeIter:
 
     def test_invalid_ladder_rejected(self):
         query = make_query(seed=13, num_tables=2)
-        with OptimizerSession("cloud") as session:
-            with pytest.raises(ValueError, match="decreasing"):
-                list(session.optimize_iter(query,
-                                           precision_ladder=(0.1, 0.5)))
+        with OptimizerSession("cloud") as session, \
+                pytest.raises(ValueError, match="decreasing"):
+            list(session.optimize_iter(query,
+                                       precision_ladder=(0.1, 0.5)))
 
     def test_pooled_worker_failure_raises(self, monkeypatch):
         """A worker-side failure must not look like an empty (successful)
@@ -298,10 +298,10 @@ class TestOptimizeIter:
                             _poisoned_anytime)
         query = make_query(seed=13, num_tables=2)
         with OptimizerSession("cloud", workers=2,
-                              warm_start=False) as session:
-            with pytest.raises(OptimizationError, match="poisoned"):
-                list(session.optimize_iter(query,
-                                           precision_ladder=(0.5, 0.0)))
+                              warm_start=False) as session, \
+                pytest.raises(OptimizationError, match="poisoned"):
+            list(session.optimize_iter(query,
+                                       precision_ladder=(0.5, 0.0)))
 
 
 class TestWarmStartAlphaTags:

@@ -23,13 +23,13 @@ from __future__ import annotations
 
 import ast
 import json
-import os
 import sqlite3
 import threading
 from pathlib import Path
 
 import pytest
 
+from repro import config
 from repro.core import encode_result
 from repro.query import QueryGenerator
 from repro.service.registry import get_scenario
@@ -325,7 +325,7 @@ class TestPersistence:
         return query, signature
 
     def test_store_file_survives_reopen(self, tmp_path):
-        env_path = os.environ.get("REPRO_STORE_PERSIST_DB")
+        env_path = config.value("REPRO_STORE_PERSIST_DB")
         path = env_path or str(tmp_path / "persist.db")
         query, signature = self.canonical_entry()
         store = PlanSetStore(path)
@@ -355,8 +355,8 @@ class TestPersistence:
 
 
 class TestDependencyHygiene:
-    STDLIB_OK = {"__future__", "dataclasses", "json", "math", "os",
-                 "sqlite3", "threading", "typing", "warnings"}
+    STDLIB_OK = {"__future__", "collections", "dataclasses", "json",
+                 "math", "os", "sqlite3", "threading", "warnings"}
 
     def test_store_package_imports_stdlib_only(self):
         package = REPO_ROOT / "src" / "repro" / "store"

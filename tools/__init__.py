@@ -1,0 +1,5 @@
+"""Repository maintenance tooling (not part of the ``repro`` package).
+
+Currently: :mod:`tools.reprolint`, the project-invariant static
+analyzer wired into CI.
+"""

@@ -1,0 +1,38 @@
+"""reprolint — project-invariant static analysis for this repository.
+
+A stdlib-``ast`` rule engine plus five project-specific rule families
+that turn this codebase's cross-cutting conventions into CI-failing
+checks:
+
+* **REP1xx determinism** — no clocks/entropy/unordered iteration in
+  the bit-identity modules (``repro.core``/``lp``/``geometry``/
+  ``cost``), with an audited allow-list for stats wall-clock sites;
+* **REP2xx knob discipline** — every ``REPRO_*`` environment read goes
+  through the :mod:`repro.config` registry, and the generated knob
+  table in ``docs/architecture.md`` stays in sync;
+* **REP3xx counter consistency** — counter classes stay documented in
+  ``docs/counters.md`` and gated baseline metrics stay live;
+* **REP4xx lock discipline** — no half-locked attributes, no locks in
+  the event-loop-owned serve package;
+* **REP5xx API surface** — truthful ``__all__``, deprecation shims
+  with ``stacklevel``.
+
+Rule catalog and suppression policy: ``docs/static-analysis.md``.
+Run ``python -m tools.reprolint src tests benchmarks`` from the
+repository root.
+"""
+
+from .engine import (Finding, Rule, RunResult, all_rules, lint_file,
+                     register, run)
+from .project import ProjectContext
+
+__all__ = [
+    "Finding",
+    "ProjectContext",
+    "Rule",
+    "RunResult",
+    "all_rules",
+    "lint_file",
+    "register",
+    "run",
+]

@@ -1,0 +1,81 @@
+"""Command-line entry point.
+
+Usage (from the repository root)::
+
+    python -m tools.reprolint src tests benchmarks
+    python -m tools.reprolint --format json --json-output report.json src
+
+Exit codes: 0 clean, 1 findings reported, 2 usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .engine import all_rules, run
+from .project import ProjectContext
+from .reporters import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Project-invariant static analysis for this "
+                    "repository (determinism, knob, counter, lock and "
+                    "API discipline).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint "
+                             "(default: src)")
+    parser.add_argument("--root", default=".",
+                        help="repository root holding the cross-checked "
+                             "artifacts (docs/, benchmarks/baselines/; "
+                             "default: current directory)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="stdout report format")
+    parser.add_argument("--json-output", metavar="FILE",
+                        help="additionally write the JSON report here "
+                             "(the CI artifact)")
+    parser.add_argument("--no-default-excludes", action="store_true",
+                        help="also lint the planted-violation fixture "
+                             "corpus under tests/fixtures/reprolint")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.title}")
+        return 0
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"reprolint: --root {args.root!r} is not a directory",
+              file=sys.stderr)
+        return 2
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"reprolint: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    try:
+        result = run([Path(path) for path in args.paths], root,
+                     project=ProjectContext(root),
+                     use_default_excludes=not args.no_default_excludes)
+    except Exception as exc:  # pragma: no cover - defensive
+        print(f"reprolint: internal error: {exc}", file=sys.stderr)
+        return 2
+    if args.json_output:
+        Path(args.json_output).write_text(render_json(result),
+                                          encoding="utf-8")
+    print(render_json(result) if args.format == "json"
+          else render_text(result))
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,345 @@
+"""Rule-engine core: findings, suppressions, file contexts, the runner.
+
+The engine is deliberately small and stdlib-only (``ast`` +
+``tokenize``).  A *rule* is a class with an ``id`` (``REPnnn``), a
+``title``, and one of two hooks:
+
+* :meth:`Rule.check_file` — called once per linted Python file with a
+  :class:`FileContext` (parsed AST with parent links, import-alias
+  resolution, enclosing-scope lookup);
+* :meth:`Rule.check_project` — called once per run with the
+  :class:`~tools.reprolint.project.ProjectContext`, for cross-artifact
+  invariants (docs tables, baseline JSON vs. live counters).
+
+Suppressions are line-scoped comments::
+
+    something_noisy()  # reprolint: disable=REP101
+    other()            # reprolint: disable=REP101,REP402
+
+A suppression that never matches a finding is itself a finding
+(``REP001``) — stale suppressions rot into false documentation
+otherwise.  Unparseable files and malformed directives report
+``REP002``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Iterable, Iterator
+
+#: Directory names never descended into.
+SKIP_DIR_NAMES = {"__pycache__", ".git", ".venv", "node_modules", ".ruff_cache"}
+
+#: Root-relative path prefixes excluded by default: the planted-violation
+#: fixture corpus must not fail the real tree's lint run.
+DEFAULT_EXCLUDE_PREFIXES = ("tests/fixtures/reprolint",)
+
+_DIRECTIVE = re.compile(r"#\s*reprolint:\s*(?P<body>.*)$")
+_DISABLE = re.compile(r"^disable=(?P<rules>REP\d{3}(?:\s*,\s*REP\d{3})*)$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported violation."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+
+class Suppressions:
+    """Line-scoped ``# reprolint: disable=...`` directives of one file."""
+
+    def __init__(self) -> None:
+        self.by_line: dict[int, set[str]] = {}
+        self.malformed: list[tuple[int, str]] = []
+        self._used: set[tuple[int, str]] = set()
+
+    @classmethod
+    def scan(cls, source: str) -> Suppressions:
+        suppressions = cls()
+        lines = iter(source.splitlines(keepends=True))
+        try:
+            tokens = tokenize.generate_tokens(lambda: next(lines, ""))
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                directive = _DIRECTIVE.search(token.string)
+                if directive is None:
+                    continue
+                body = directive.group("body").strip()
+                disable = _DISABLE.match(body)
+                if disable is None:
+                    suppressions.malformed.append(
+                        (token.start[0], body or "<empty>"))
+                    continue
+                rules = {r.strip() for r in
+                         disable.group("rules").split(",")}
+                suppressions.by_line.setdefault(
+                    token.start[0], set()).update(rules)
+        except tokenize.TokenError:
+            pass  # the ast parse reports the syntax error
+        return suppressions
+
+    def suppresses(self, line: int, rule: str) -> bool:
+        if rule in self.by_line.get(line, ()):
+            self._used.add((line, rule))
+            return True
+        return False
+
+    def unused(self) -> list[tuple[int, str]]:
+        return sorted((line, rule)
+                      for line, rules in self.by_line.items()
+                      for rule in rules
+                      if (line, rule) not in self._used)
+
+
+class FileContext:
+    """Everything a file rule needs about one parsed Python file.
+
+    Attributes:
+        path: Absolute file path.
+        rel: Root-relative POSIX path (how findings are reported and how
+            path-scoped rules decide applicability).
+        source: File text.
+        tree: Parsed module with ``.parent`` links on every node.
+        project: The run's :class:`ProjectContext` (artifact parses),
+            or ``None`` when linting outside a project root.
+    """
+
+    def __init__(self, path: Path, rel: str, source: str,
+                 tree: ast.Module, project=None) -> None:
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.tree = tree
+        self.project = project
+        self._aliases: dict[str, str] | None = None
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                child.parent = parent  # type: ignore[attr-defined]
+        tree.parent = None  # type: ignore[attr-defined]
+
+    # -- name resolution ------------------------------------------------
+
+    @property
+    def aliases(self) -> dict[str, str]:
+        """Local name -> dotted origin, from this file's imports.
+
+        ``import numpy as np`` maps ``np -> numpy``; ``from time import
+        perf_counter as pc`` maps ``pc -> time.perf_counter``.
+        """
+        if self._aliases is None:
+            aliases: dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for item in node.names:
+                        local = item.asname or item.name.split(".")[0]
+                        origin = (item.name if item.asname
+                                  else item.name.split(".")[0])
+                        aliases[local] = origin
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    if node.level:
+                        continue  # relative imports keep their local name
+                    for item in node.names:
+                        if item.name == "*":
+                            continue
+                        local = item.asname or item.name
+                        aliases[local] = f"{node.module}.{item.name}"
+            self._aliases = aliases
+        return self._aliases
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted origin of a Name/Attribute chain, or ``None``.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` under ``import numpy as np``.
+        """
+        if isinstance(node, ast.Name):
+            return self.aliases.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    # -- scope helpers --------------------------------------------------
+
+    @staticmethod
+    def enclosing(node: ast.AST, kinds: tuple) -> ast.AST | None:
+        """Nearest ancestor of one of ``kinds`` (excluding ``node``)."""
+        current = getattr(node, "parent", None)
+        while current is not None:
+            if isinstance(current, kinds):
+                return current
+            current = getattr(current, "parent", None)
+        return None
+
+    def qualname(self, node: ast.AST) -> str:
+        """Dotted function/class path enclosing ``node`` (module-level
+        code resolves to ``"<module>"``)."""
+        parts: list[str] = []
+        current = getattr(node, "parent", None)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef)):
+                parts.append(current.name)
+            current = getattr(current, "parent", None)
+        return ".".join(reversed(parts)) or "<module>"
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(rule=rule, path=self.rel,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       message=message)
+
+
+class Rule:
+    """Base rule.  Subclasses set ``id``/``title`` and override a hook."""
+
+    id: str = "REP000"
+    title: str = ""
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project) -> Iterable[Finding]:
+        return ()
+
+
+#: Registry of rule *instances*, populated by :func:`register` at rule
+#: module import time, keyed by rule id.
+RULES: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry (id must be new)."""
+    instance = rule_cls()
+    if instance.id in RULES:
+        raise ValueError(f"duplicate rule id {instance.id}")
+    RULES[instance.id] = instance
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    from . import rules  # noqa: F401  (importing registers the rules)
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def iter_python_files(paths: Iterable[Path], root: Path,
+                      use_default_excludes: bool = True) -> Iterator[Path]:
+    """Yield the ``.py`` files selected by ``paths``, sorted, de-duped."""
+    seen: set[Path] = set()
+    excluded = DEFAULT_EXCLUDE_PREFIXES if use_default_excludes else ()
+
+    def wanted(path: Path) -> bool:
+        try:
+            rel = path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        return not any(rel == prefix or rel.startswith(prefix + "/")
+                       for prefix in excluded)
+
+    for path in paths:
+        path = Path(path)
+        if path.is_file() and path.suffix == ".py":
+            candidates = [path]
+        elif path.is_dir():
+            candidates = sorted(
+                candidate for candidate in path.rglob("*.py")
+                if not any(part in SKIP_DIR_NAMES or part.startswith(".")
+                           for part in candidate.parts))
+        else:
+            candidates = []
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen and wanted(candidate):
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_file(path: Path, root: Path, project=None,
+              rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Lint one file: parse, run file rules, apply suppressions."""
+    if rules is None:
+        rules = all_rules()
+    try:
+        rel = path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        return [Finding(rule="REP002", path=rel, line=getattr(
+            exc, "lineno", 1) or 1, col=1,
+            message=f"could not parse file: {exc}")]
+    suppressions = Suppressions.scan(source)
+    ctx = FileContext(path, rel, source, tree, project=project)
+    findings: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check_file(ctx):
+            if not suppressions.suppresses(finding.line, finding.rule):
+                findings.append(finding)
+    for line, body in suppressions.malformed:
+        findings.append(Finding(
+            rule="REP002", path=rel, line=line, col=1,
+            message=f"malformed reprolint directive: {body!r} "
+                    f"(expected 'disable=REPnnn[,REPnnn...]')"))
+    for line, rule_id in suppressions.unused():
+        findings.append(Finding(
+            rule="REP001", path=rel, line=line, col=1,
+            message=f"unused suppression of {rule_id}: no such finding "
+                    f"on this line — remove the directive"))
+    return findings
+
+
+def run(paths: Iterable[Path], root: Path, project=None,
+        use_default_excludes: bool = True,
+        rules: Iterable[Rule] | None = None) -> RunResult:
+    """Lint ``paths`` (files/dirs) plus the project-level invariants."""
+    root = Path(root).resolve()
+    if rules is None:
+        rules = all_rules()
+    rules = list(rules)
+    result = RunResult()
+    for path in iter_python_files(paths, root, use_default_excludes):
+        result.files_scanned += 1
+        result.findings.extend(lint_file(path, root, project=project,
+                                         rules=rules))
+    if project is not None:
+        for rule in rules:
+            result.findings.extend(rule.check_project(project))
+    result.findings.sort(key=Finding.sort_key)
+    return result

@@ -1,0 +1,32 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import RunResult
+
+
+def render_text(result: RunResult) -> str:
+    """One ``path:line:col: RULE message`` line per finding, plus a
+    one-line summary."""
+    lines = [finding.render() for finding in result.findings]
+    if result.findings:
+        by_rule = ", ".join(f"{rule}×{count}" for rule, count
+                            in result.counts_by_rule().items())
+        lines.append(f"reprolint: {len(result.findings)} finding(s) "
+                     f"in {result.files_scanned} file(s) [{by_rule}]")
+    else:
+        lines.append(f"reprolint: clean ({result.files_scanned} "
+                     f"file(s) scanned)")
+    return "\n".join(lines)
+
+
+def render_json(result: RunResult) -> str:
+    """Stable JSON document (CI artifact)."""
+    return json.dumps(
+        {"findings": [finding.as_dict() for finding in result.findings],
+         "counts_by_rule": result.counts_by_rule(),
+         "files_scanned": result.files_scanned,
+         "clean": not result.findings},
+        indent=2, sort_keys=True) + "\n"

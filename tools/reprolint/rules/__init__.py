@@ -1,0 +1,13 @@
+"""Rule families.  Importing this package registers every rule.
+
+* REP1xx — determinism discipline in the bit-identity modules
+* REP2xx — knob discipline (the ``repro.config`` registry)
+* REP3xx — counter consistency across code, docs and the CI baseline
+* REP4xx — lock discipline
+* REP5xx — API surface (``__all__``, deprecation shims)
+
+``REP001`` (unused suppression) and ``REP002`` (parse/directive error)
+are emitted by the engine itself.
+"""
+
+from . import api, counters, determinism, knobs, locks  # noqa: F401

@@ -1,0 +1,143 @@
+"""REP5xx — API surface discipline.
+
+* REP501 — modules declaring ``__all__`` keep it truthful: every entry
+  must exist at module scope, no duplicates, and every *public*
+  top-level ``def``/``class`` must be listed (an unexported public def
+  is an accidental API).
+* REP502 — ``DeprecationWarning``s must pass ``stacklevel`` so the
+  warning points at the caller being migrated, not at the shim.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Rule, register
+
+
+def _module_scope_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                elif isinstance(target, ast.Tuple):
+                    names.update(element.id for element in target.elts
+                                 if isinstance(element, ast.Name))
+        elif isinstance(node, ast.AnnAssign) \
+                and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            names.update((item.asname or item.name.split(".")[0])
+                         for item in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            names.update((item.asname or item.name)
+                         for item in node.names if item.name != "*")
+        elif isinstance(node, (ast.If, ast.Try)):
+            # One conditional level is enough for the guarded-import
+            # idiom (TYPE_CHECKING, optional deps).
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef, ast.ClassDef)):
+                    names.add(sub.name)
+                elif isinstance(sub, ast.ImportFrom):
+                    names.update((item.asname or item.name)
+                                 for item in sub.names
+                                 if item.name != "*")
+                elif isinstance(sub, ast.Import):
+                    names.update((item.asname or item.name.split(".")[0])
+                                 for item in sub.names)
+    return names
+
+
+def _star_imports(tree: ast.Module) -> bool:
+    return any(isinstance(node, ast.ImportFrom)
+               and any(item.name == "*" for item in node.names)
+               for node in tree.body)
+
+
+@register
+class DunderAllDiscipline(Rule):
+    id = "REP501"
+    title = "__all__ out of sync with the module's public defs"
+
+    def check_file(self, ctx: FileContext):
+        all_node = None
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign) and any(
+                    isinstance(target, ast.Name)
+                    and target.id == "__all__"
+                    for target in node.targets):
+                all_node = node
+        if all_node is None:
+            return
+        if not isinstance(all_node.value, (ast.List, ast.Tuple)):
+            return
+        exported: list[str] = []
+        for element in all_node.value.elts:
+            if isinstance(element, ast.Constant) \
+                    and isinstance(element.value, str):
+                exported.append(element.value)
+        seen: set[str] = set()
+        for name in exported:
+            if name in seen:
+                yield ctx.finding(self.id, all_node,
+                                  f"duplicate __all__ entry {name!r}")
+            seen.add(name)
+        defined = _module_scope_names(ctx.tree)
+        if not _star_imports(ctx.tree):
+            for name in exported:
+                if name not in defined:
+                    yield ctx.finding(
+                        self.id, all_node,
+                        f"__all__ exports {name!r} which is not "
+                        f"defined at module scope")
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)) \
+                    and not node.name.startswith("_") \
+                    and node.name not in seen:
+                yield ctx.finding(
+                    self.id, node,
+                    f"public {'class' if isinstance(node, ast.ClassDef) else 'def'} "
+                    f"{node.name!r} missing from __all__ (export it or "
+                    f"underscore-prefix it)")
+
+
+@register
+class DeprecationStacklevel(Rule):
+    id = "REP502"
+    title = "DeprecationWarning without stacklevel"
+
+    def check_file(self, ctx: FileContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved not in ("warnings.warn", "warnings.warn_explicit"):
+                continue
+            category = None
+            if len(node.args) >= 2:
+                category = node.args[1]
+            for keyword in node.keywords:
+                if keyword.arg == "category":
+                    category = keyword.value
+            if category is None:
+                continue
+            name = (category.id if isinstance(category, ast.Name)
+                    else category.attr
+                    if isinstance(category, ast.Attribute) else "")
+            if not name.endswith("DeprecationWarning"):
+                continue
+            if resolved == "warnings.warn" and not any(
+                    keyword.arg == "stacklevel"
+                    for keyword in node.keywords):
+                yield ctx.finding(
+                    self.id, node,
+                    "deprecation warning without stacklevel=: the "
+                    "warning will point at the shim instead of the "
+                    "caller being migrated")

@@ -1,0 +1,80 @@
+"""REP3xx — counter consistency across code, docs and the CI baseline.
+
+The perf story is carried by deterministic counters: every counter
+class field must be documented in ``docs/counters.md`` (REP301), and
+every gated ``lp.*`` / ``serving.*`` / ``store.*`` metric key in
+``benchmarks/baselines/bench-smoke.json`` must still resolve to a live
+counter or benchmark-produced aggregate (REP302) — a renamed counter
+or stale baseline entry fails CI instead of silently un-gating.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..engine import Finding, Rule, register
+
+
+def _mentioned(doc: str, name: str) -> bool:
+    """Whether ``name`` appears in the doc as a standalone token
+    (``solved`` does not match inside ``lps_solved``, but does match
+    in ``lp_stats.solved``)."""
+    return re.search(rf"(?<![A-Za-z0-9_]){re.escape(name)}(?![A-Za-z0-9_])",
+                     doc) is not None
+
+
+@register
+class UndocumentedCounter(Rule):
+    id = "REP301"
+    title = "counter attribute missing from docs/counters.md"
+
+    def check_project(self, project):
+        doc = project.counters_doc
+        if doc is None:
+            return
+        for (rel, class_name), counters in sorted(
+                project.counter_classes.items()):
+            for name, line in sorted(counters.items(),
+                                     key=lambda item: item[1]):
+                if not _mentioned(doc, name):
+                    yield Finding(
+                        rule=self.id, path=rel, line=line, col=1,
+                        message=f"{class_name}.{name} is not documented "
+                                f"in docs/counters.md — every counter "
+                                f"ships with its glossary entry")
+
+
+@register
+class StaleBaselineMetric(Rule):
+    id = "REP302"
+    title = "gated baseline metric does not resolve to a live counter"
+
+    #: prefix -> attribute of ProjectContext holding the live names.
+    FAMILIES = {
+        "lp.": "lp_metric_names",
+        "serving.": "serving_metric_names",
+        "store.": "store_metric_names",
+    }
+
+    def check_project(self, project):
+        metrics = project.baseline_metrics
+        if metrics is None:
+            return
+        for key in sorted(metrics):
+            entry = metrics[key]
+            if not (isinstance(entry, dict) and entry.get("gate")):
+                continue
+            for prefix, attr in self.FAMILIES.items():
+                if not key.startswith(prefix):
+                    continue
+                tail = key.rsplit(".", 1)[-1]
+                live = getattr(project, attr)
+                if tail in live or project.SHARD_HITS.match(tail):
+                    continue
+                yield Finding(
+                    rule=self.id, path=project.BASELINE, line=1, col=1,
+                    message=f"gated metric {key!r}: tail {tail!r} does "
+                            f"not resolve to a live counter or "
+                            f"benchmark aggregate — stale baseline "
+                            f"entries silently disable their gate; "
+                            f"remove the key or restore the counter")

@@ -1,0 +1,197 @@
+"""REP1xx — determinism discipline for the bit-identity modules.
+
+``repro.core`` / ``repro.lp`` / ``repro.geometry`` / ``repro.cost``
+must produce bit-identical plan sets and counters across kernel
+generations, machines and Python versions (that is what lets CI gate
+counter metrics — see ``docs/counters.md``).  Any ambient
+nondeterminism feeding a result breaks that contract silently, so
+these rules ban the sources outright:
+
+* REP101 — clock reads (``time.time``, ``time.perf_counter``, ...)
+  outside the explicit stats/wall-clock allow-list
+  (``tools.reprolint.project.WALLCLOCK_ALLOWLIST``);
+* REP102 — randomness/entropy sources (``random``, ``numpy.random``,
+  ``os.urandom``, ``uuid``, ``secrets``);
+* REP103 — iteration over ``set``/``frozenset`` values, whose order
+  depends on ``PYTHONHASHSEED`` (iterate a sorted copy instead;
+  ``dict`` iteration is insertion-ordered and therefore fine).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Finding, Rule, register
+
+#: Fully-resolved clock callables.  *Every* one needs an allow-list
+#: entry — there is no "harmless" clock in a bit-identity module, only
+#: audited stats sites.
+CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+})
+
+#: Modules whose very import signals entropy use.
+ENTROPY_MODULES = frozenset({"random", "secrets", "uuid"})
+
+#: Resolved-name prefixes of entropy callables.
+ENTROPY_PREFIXES = ("random.", "secrets.", "uuid.", "numpy.random")
+
+ENTROPY_CALLS = frozenset({"os.urandom"})
+
+
+def _functions_scope(node: ast.AST) -> ast.AST | None:
+    return FileContext.enclosing(
+        node, (ast.FunctionDef, ast.AsyncFunctionDef))
+
+
+@register
+class ClockReads(Rule):
+    id = "REP101"
+    title = "clock read in bit-identity module outside the allow-list"
+
+    def check_file(self, ctx: FileContext):
+        project = ctx.project
+        if project is None or not project.is_bit_identity(ctx.rel):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved not in CLOCK_CALLS:
+                continue
+            qualname = ctx.qualname(node)
+            if project.wallclock_allowed(ctx.rel, qualname):
+                continue
+            yield ctx.finding(
+                self.id, node,
+                f"{resolved}() in bit-identity module (in {qualname}); "
+                f"clocks may only feed stats at allow-listed sites — "
+                f"add to WALLCLOCK_ALLOWLIST only if the value never "
+                f"influences results")
+
+
+@register
+class EntropySources(Rule):
+    id = "REP102"
+    title = "randomness/entropy source in bit-identity module"
+
+    def check_file(self, ctx: FileContext):
+        project = ctx.project
+        if project is None or not project.is_bit_identity(ctx.rel):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    top = item.name.split(".")[0]
+                    if top in ENTROPY_MODULES:
+                        yield ctx.finding(
+                            self.id, node,
+                            f"import of {item.name!r} in bit-identity "
+                            f"module; results must not depend on "
+                            f"entropy")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and not node.level and (
+                        node.module.split(".")[0] in ENTROPY_MODULES
+                        or node.module.startswith("numpy.random")):
+                    yield ctx.finding(
+                        self.id, node,
+                        f"import from {node.module!r} in bit-identity "
+                        f"module; results must not depend on entropy")
+            elif isinstance(node, ast.Call):
+                resolved = ctx.resolve(node.func)
+                if resolved is None:
+                    continue
+                if (resolved in ENTROPY_CALLS
+                        or resolved.startswith(ENTROPY_PREFIXES)):
+                    yield ctx.finding(
+                        self.id, node,
+                        f"call to {resolved}() in bit-identity module; "
+                        f"results must not depend on entropy")
+
+
+def _is_set_expr(node: ast.expr, local_sets: set[str]) -> bool:
+    """Whether ``node`` statically evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in local_sets
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return (_is_set_expr(node.left, local_sets)
+                or _is_set_expr(node.right, local_sets))
+    return False
+
+
+def _sorted_wrapped(node: ast.expr) -> bool:
+    """Whether the iteration result is immediately ordered: the iter
+    expression's comprehension/loop value flows straight into an
+    order-insensitive reducer (hash order cannot leak then).  ``sum``
+    is deliberately absent: float summation order changes bits.
+    """
+    parent = getattr(node, "parent", None)
+    grand = getattr(parent, "parent", None)
+    return any(
+        isinstance(candidate, ast.Call)
+        and isinstance(candidate.func, ast.Name)
+        and candidate.func.id in ("sorted", "len", "any", "all")
+        for candidate in (parent, grand))
+
+
+@register
+class UnorderedIteration(Rule):
+    id = "REP103"
+    title = "iteration over an unordered set in bit-identity module"
+
+    def check_file(self, ctx: FileContext):
+        project = ctx.project
+        if project is None or not project.is_bit_identity(ctx.rel):
+            return
+        # Local names bound to set expressions, per enclosing function
+        # (id of the function node -> names).  Deliberately an
+        # over-approximation: a rebound name stays tainted.
+        local_sets: dict[int, set[str]] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and _is_set_expr(node.value, set()):
+                scope = _functions_scope(node)
+                local_sets.setdefault(id(scope), set()).add(
+                    node.targets[0].id)
+            elif isinstance(node, ast.AnnAssign) \
+                    and isinstance(node.target, ast.Name) \
+                    and node.value is not None \
+                    and _is_set_expr(node.value, set()):
+                scope = _functions_scope(node)
+                local_sets.setdefault(id(scope), set()).add(
+                    node.target.id)
+
+        def scope_sets(node: ast.AST) -> set[str]:
+            return local_sets.get(id(_functions_scope(node)), set())
+
+        for node in ast.walk(ctx.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                                   ast.DictComp, ast.SetComp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for iter_expr in iters:
+                if not _is_set_expr(iter_expr, scope_sets(iter_expr)):
+                    continue
+                if isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                                     ast.DictComp)) \
+                        and _sorted_wrapped(node):
+                    continue
+                yield ctx.finding(
+                    self.id, iter_expr,
+                    "iteration over a set: order depends on "
+                    "PYTHONHASHSEED and can leak into results — "
+                    "iterate sorted(...) instead")

@@ -1,0 +1,141 @@
+"""REP4xx — lock discipline.
+
+* REP401 — within a class, an attribute written under ``with
+  self._lock:`` in one place must be written under it everywhere
+  (``__init__``/``__new__`` excluded: construction precedes sharing).
+  Targets the shared caches (``WarmStartCache``, ``PlanSetStore``,
+  ``LPResultCache``) but applies to any class that mixes locked and
+  bare writes — that mix is how torn cache states are born.
+* REP402 — no ``threading`` locks inside ``repro.serve``: all gateway
+  state is owned by the event-loop thread (cross-thread work goes
+  through ``run_coroutine_threadsafe`` / executor futures).  A lock
+  appearing there means shared mutable state crossed a thread
+  boundary and the single-owner design is being eroded.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Rule, register
+
+INIT_METHODS = {"__init__", "__new__", "__post_init__"}
+
+LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "multiprocessing.Lock", "multiprocessing.RLock",
+})
+
+
+def _self_attr_path(node: ast.expr) -> str | None:
+    """Dotted attribute path rooted at ``self`` (without the root),
+    e.g. ``self.counters.puts`` -> ``"counters.puts"``."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name) and current.id == "self" and parts:
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_lock_expr(node: ast.expr) -> bool:
+    """Whether a ``with`` item looks like a lock (``self._lock``,
+    ``self._state_lock``, a bare ``lock`` variable, ...)."""
+    path = _self_attr_path(node)
+    if path is not None:
+        return "lock" in path.rsplit(".", 1)[-1].lower()
+    if isinstance(node, ast.Name):
+        return "lock" in node.id.lower()
+    return False
+
+
+def _under_lock(node: ast.AST, method: ast.AST) -> bool:
+    """Whether ``node`` sits inside a lock-holding ``with`` within
+    ``method``."""
+    current = getattr(node, "parent", None)
+    while current is not None and current is not method:
+        if isinstance(current, (ast.With, ast.AsyncWith)):
+            for item in current.items:
+                if _is_lock_expr(item.context_expr):
+                    return True
+        current = getattr(current, "parent", None)
+    return False
+
+
+def _attribute_writes(method: ast.FunctionDef):
+    """Yield ``(path, node)`` for writes to self-rooted attributes."""
+    for node in ast.walk(method):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets.extend(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets.append(node.target)
+        for target in targets:
+            if isinstance(target, ast.Tuple):
+                elements = target.elts
+            else:
+                elements = [target]
+            for element in elements:
+                if isinstance(element, ast.Attribute):
+                    path = _self_attr_path(element)
+                    if path is not None:
+                        yield path, node
+
+
+@register
+class InconsistentLocking(Rule):
+    id = "REP401"
+    title = "attribute written both under a lock and without it"
+
+    def check_file(self, ctx: FileContext):
+        for class_node in ast.walk(ctx.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            locked: dict[str, ast.AST] = {}
+            bare: list[tuple[str, ast.AST, str]] = []
+            for method in class_node.body:
+                if not isinstance(method, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                    continue
+                if method.name in INIT_METHODS:
+                    continue
+                for path, node in _attribute_writes(method):
+                    if _under_lock(node, method):
+                        locked.setdefault(path, node)
+                    else:
+                        bare.append((path, node, method.name))
+            for path, node, method_name in bare:
+                if path in locked:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"self.{path} is written under the lock "
+                        f"elsewhere in {class_node.name} but bare in "
+                        f"{method_name}(); hold the lock here too (or "
+                        f"suppress with a comment explaining why this "
+                        f"write cannot race)")
+
+
+@register
+class LockInServePackage(Rule):
+    id = "REP402"
+    title = "threading lock inside the event-loop-owned serve package"
+
+    def check_file(self, ctx: FileContext):
+        project = ctx.project
+        if project is None or not project.is_serve(ctx.rel):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved in LOCK_FACTORIES:
+                yield ctx.finding(
+                    self.id, node,
+                    f"{resolved}() inside repro.serve: gateway state "
+                    f"is event-loop-thread-only by design "
+                    f"(docs/serving.md); marshal cross-thread work "
+                    f"through the loop instead of sharing state under "
+                    f"a lock")
