@@ -1,0 +1,347 @@
+"""Chaos benchmark: deterministic fault injection against the gateway.
+
+Boots an in-process single-shard gateway backed by a persistent store
+and replays the recovery matrix of ``docs/robustness.md`` as phased,
+fully deterministic chaos — every fault comes from a ``repro.faults``
+hit-count schedule (no clocks, no entropy), so the same faults fire at
+the same points on every machine and the produced counters are exact.
+
+Phases:
+
+1. **reference** — the CRC-seeded query mix, fault-free; the recorded
+   plan-set documents are the bit-identity baseline;
+2. **shard death** — ``serve.shard.die:1`` per mix query: every first
+   attempt kills the shard, the gateway respawns and retries, and the
+   healed response must be byte-identical to the reference;
+3. **breaker** — ``serve.shard.die:1-6`` over six requests of one warm
+   query: three failed requests trip the breaker, two are shed to the
+   degraded path, the half-open probe closes it (worked arithmetic:
+   6 respawns, 1 open, 5 degraded responses, six HTTP 200s);
+4. **stream interrupt** — ``serve.stream.disconnect:1`` hard-resets an
+   NDJSON stream mid-flight; the client must raise the typed
+   ``StreamInterrupted`` (carrying the last event), and a straight
+   retry must stream to ``done``;
+5. **ambient schedule** — the fixed schedule CI exports as
+   ``REPRO_FAULTS`` (worker kill + store write faults + slow shard),
+   driven over fresh queries; the responses under chaos must match the
+   fault-free re-asks byte for byte while the write-through absorbs
+   the store faults;
+6. **worker pool** — ``service.worker.crash:1`` through the
+   environment (pool children parse it themselves): the first mapped
+   query dies with the worker, the schedule is cleared, and the healed
+   result must equal a fault-free session's exactly.
+
+The headline metrics are gated by ``bench_compare.py --chaos`` against
+``benchmarks/baselines/bench-chaos.json``: ``chaos.http_200_rate`` and
+``chaos.retry_identical`` floor at 1.0, ``chaos.dropped`` gates at 0,
+and ``chaos.faults_injected`` plus every recovery counter
+(``shard_respawns``, ``breaker_opens``, ``degraded_responses``,
+``write_faults_absorbed``, ``pool_respawns``) are asserted non-zero —
+a chaos run that injects nothing cannot pass.
+
+Usage::
+
+    python benchmarks/bench_chaos.py --json bench-chaos.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import config, faults
+from repro.api import OptimizerSession
+from repro.bench.workloads import SweepPoint, queries_for_point
+from repro.core import encode_plan_set
+from repro.serve import (GatewayClient, GatewayConfig, StreamInterrupted,
+                         launch)
+
+#: The fixed ambient schedule the CI chaos-smoke job exports as
+#: ``REPRO_FAULTS`` (and the default when the variable is unset): a
+#: worker kill, two store write faults and one slow shard.  The worker
+#: kill degrades to an in-process raise on the serial shard path, so it
+#: exercises the gateway's error-item retry deterministically.
+DEFAULT_AMBIENT_SCHEDULE = ("service.worker.crash:1;"
+                            "store.put.fail:1-2;"
+                            "serve.shard.slow:1:0.25")
+
+#: Schedule of the worker-pool phase, threaded through the environment
+#: so pool children (which parse ``REPRO_FAULTS`` themselves) crash.
+POOL_SCHEDULE = "service.worker.crash:1"
+
+
+class ChaosTally:
+    """Request/identity bookkeeping plus fault-stat accumulation.
+
+    ``faults.install`` resets the per-process fault stats, so the tally
+    absorbs the current snapshot before every schedule switch — the
+    final report carries the totals across all phases.
+    """
+
+    def __init__(self) -> None:
+        self.requests_total = 0
+        self.ok_200 = 0
+        self.dropped = 0
+        self.identity_checks = 0
+        self.identity_matches = 0
+        self.stream_interrupts = 0
+        self.statuses: dict[str, int] = {}
+        self.faults_injected = 0
+        self.fault_sites: dict[str, int] = {}
+
+    def switch(self, spec: str | None) -> None:
+        snap = faults.snapshot()
+        self.faults_injected += snap["injected"]
+        for site, count in snap["sites"].items():
+            self.fault_sites[site] = self.fault_sites.get(site, 0) + count
+        faults.install(spec)
+
+    def complete(self, response, *, reference: dict | None = None) -> dict:
+        """Record a request that must answer HTTP 200, never drop."""
+        self.requests_total += 1
+        if response is None or response.status_code != 200:
+            self.dropped += 1
+            return {}
+        self.ok_200 += 1
+        status = response.doc.get("status", "?")
+        self.statuses[status] = self.statuses.get(status, 0) + 1
+        if reference is not None:
+            self.identity_checks += 1
+            if response.doc.get("plan_set") == reference:
+                self.identity_matches += 1
+        return response.doc
+
+    def identical(self, matched: bool) -> None:
+        self.identity_checks += 1
+        if matched:
+            self.identity_matches += 1
+
+
+def _fire(client: GatewayClient, query):
+    try:
+        return client.optimize(query)
+    except Exception:  # noqa: BLE001 - any client failure is a drop
+        return None
+
+
+def run_chaos_benchmark(*, mix_size: int = 3, num_tables: int = 3,
+                        seed: int = 0, scenario: str = "cloud",
+                        ambient_schedule: str | None = None) -> dict:
+    """Run all chaos phases; return the gateable report."""
+    if ambient_schedule is None:
+        ambient_schedule = (config.value("REPRO_FAULTS")
+                            or DEFAULT_AMBIENT_SCHEDULE)
+    # Pin the schedule to "nothing" up front: the reference phase must
+    # be fault-free even when CI exports REPRO_FAULTS for the run.
+    faults.install(None)
+    tally = ChaosTally()
+
+    point = SweepPoint(num_tables=num_tables, shape="chain",
+                      num_params=1, resolution=2)
+    mix = queries_for_point(point, count=mix_size, base_seed=seed)
+    ambient_queries = queries_for_point(point, count=2,
+                                        base_seed=seed + 2000)
+    stream_query = queries_for_point(point, count=1,
+                                     base_seed=seed + 3000)[0]
+    pool_query = queries_for_point(point, count=1,
+                                   base_seed=seed + 4000)[0]
+
+    with tempfile.TemporaryDirectory(prefix="bench-chaos-") as tmp:
+        store_path = str(Path(tmp) / "plans.db")
+        gateway_config = GatewayConfig(
+            shards=1, scenario=scenario, store_path=store_path,
+            tenant_rate=10_000.0, tenant_burst=10_000.0, max_pending=64)
+        with launch(gateway_config) as handle:
+            client = GatewayClient(handle.host, handle.port,
+                                   timeout=300.0)
+
+            # Phase 1: fault-free reference responses.
+            references = []
+            for query in mix:
+                doc = tally.complete(_fire(client, query))
+                references.append(doc.get("plan_set"))
+
+            # Phase 2: shard death + respawn, per mix query.
+            for query, reference in zip(mix, references):
+                tally.switch("serve.shard.die:1")
+                tally.complete(_fire(client, query), reference=reference)
+
+            # Phase 3: breaker arithmetic over the warm first query.
+            tally.switch("serve.shard.die:1-6")
+            for attempt in range(6):
+                reference = references[0] if attempt == 5 else None
+                tally.complete(_fire(client, mix[0]), reference=reference)
+
+            # Phase 4: mid-stream disconnect, then a clean retry.
+            tally.switch("serve.stream.disconnect:1")
+            try:
+                for _ in client.stream_optimize(stream_query):
+                    pass
+            except StreamInterrupted:
+                tally.stream_interrupts += 1
+            else:
+                # The cut did not surface as the typed error: that is a
+                # dropped contract, not a passed phase.
+                tally.dropped += 1
+            tally.requests_total += 1
+            try:
+                events = list(client.stream_optimize(stream_query))
+            except Exception:  # noqa: BLE001 - any failure is a drop
+                events = []
+            if events and events[-1].get("kind") == "done" \
+                    and events[-1].get("status") in ("ok", "cached",
+                                                     "partial"):
+                tally.ok_200 += 1
+                tally.statuses["stream_done"] = \
+                    tally.statuses.get("stream_done", 0) + 1
+            else:
+                tally.dropped += 1
+
+            # Phase 5: the ambient CI schedule over fresh queries, then
+            # fault-free re-asks for the bit-identity comparison.
+            tally.switch(ambient_schedule)
+            chaos_docs = [tally.complete(_fire(client, query))
+                          for query in ambient_queries]
+            tally.switch(None)
+            for query, chaos_doc in zip(ambient_queries, chaos_docs):
+                calm = tally.complete(_fire(client, query))
+                tally.identical(
+                    bool(chaos_doc) and
+                    chaos_doc.get("plan_set") == calm.get("plan_set"))
+
+            metrics = client.metrics()
+        resilience = metrics["resilience"]
+        store_counters = metrics["store"]
+
+    # Phase 6: worker-pool kill through the environment (children parse
+    # REPRO_FAULTS themselves), heal, and compare against a fault-free
+    # session byte for byte.
+    pool_respawns = 0
+    pool_crashes = 0
+    os.environ["REPRO_FAULTS"] = POOL_SCHEDULE
+    faults.reset()
+    try:
+        with OptimizerSession(scenario, workers=2) as session:
+            crashed = session.map([pool_query])[0]
+            if crashed.status == "error":
+                pool_crashes += 1
+            os.environ.pop("REPRO_FAULTS", None)
+            faults.reset()
+            healed = session.map([pool_query])[0]
+            pool_respawns = session.pool_respawns
+        tally.requests_total += 1
+        if healed.ok:
+            tally.ok_200 += 1
+            tally.statuses["pool_healed"] = \
+                tally.statuses.get("pool_healed", 0) + 1
+            with OptimizerSession(scenario) as reference_session:
+                expected = reference_session.map([pool_query])[0]
+            tally.identical(
+                json.dumps(encode_plan_set(healed.plan_set)) ==
+                json.dumps(encode_plan_set(expected.plan_set)))
+        else:
+            tally.dropped += 1
+    finally:
+        os.environ.pop("REPRO_FAULTS", None)
+        tally.switch(None)
+
+    return {
+        "kind": "chaos",
+        "scenario": scenario,
+        "shape": "chain",
+        "num_tables": num_tables,
+        "shards": 1,
+        "mix_size": mix_size,
+        "seed": seed,
+        "ambient_schedule": ambient_schedule,
+        "requests_total": tally.requests_total,
+        "http_200": tally.ok_200,
+        "http_200_rate": (tally.ok_200 / tally.requests_total
+                          if tally.requests_total else 0.0),
+        "dropped": tally.dropped,
+        "identity_checks": tally.identity_checks,
+        "identity_matches": tally.identity_matches,
+        "retry_identical": (tally.identity_matches / tally.identity_checks
+                            if tally.identity_checks else 0.0),
+        "faults_injected": tally.faults_injected,
+        "fault_sites": tally.fault_sites,
+        "stream_interrupts": tally.stream_interrupts,
+        "pool_crashes": pool_crashes,
+        "pool_respawns": pool_respawns,
+        "statuses": tally.statuses,
+        "resilience": resilience,
+        "write_faults_absorbed": store_counters["write_faults_absorbed"],
+    }
+
+
+def format_report(report: dict) -> str:
+    resilience = report["resilience"]
+    lines = [
+        f"chaos benchmark (mix {report['mix_size']}, "
+        f"seed {report['seed']})",
+        f"  schedule: {report['ambient_schedule']}",
+        f"  requests: {report['requests_total']} -> "
+        f"{report['http_200']} HTTP 200 "
+        f"({report['http_200_rate']:.0%}), {report['dropped']} dropped",
+        f"  identity: {report['identity_matches']}/"
+        f"{report['identity_checks']} recovered responses bit-identical "
+        f"({report['retry_identical']:.0%})",
+        f"  faults injected: {report['faults_injected']} "
+        f"{report['fault_sites']}",
+        f"  recovery: respawns {resilience['shard_respawns']}, "
+        f"breaker opens {resilience['breaker_opens']}, "
+        f"degraded {resilience['degraded_responses']}, "
+        f"write faults absorbed {report['write_faults_absorbed']}, "
+        f"pool respawns {report['pool_respawns']}",
+        f"  statuses: {report['statuses']}",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mix", type=int, default=3,
+                        help="distinct queries in the reference mix")
+    parser.add_argument("--tables", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scenario", default="cloud")
+    parser.add_argument("--schedule", default=None,
+                        help="ambient-phase schedule (default: the "
+                             "REPRO_FAULTS variable, then the fixed CI "
+                             "schedule)")
+    parser.add_argument("--json", default=None,
+                        help="write the JSON report here")
+    args = parser.parse_args()
+
+    report = run_chaos_benchmark(
+        mix_size=args.mix, num_tables=args.tables, seed=args.seed,
+        scenario=args.scenario, ambient_schedule=args.schedule)
+    print(format_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    failed = False
+    if report["dropped"]:
+        print(f"FAIL: {report['dropped']} dropped request(s) under "
+              f"chaos", file=sys.stderr)
+        failed = True
+    if report["http_200_rate"] < 1.0:
+        print(f"FAIL: only {report['http_200_rate']:.0%} of requests "
+              f"completed with HTTP 200", file=sys.stderr)
+        failed = True
+    if report["retry_identical"] < 1.0:
+        print(f"FAIL: {report['identity_checks']-report['identity_matches']}"
+              f" recovered response(s) not bit-identical to the "
+              f"fault-free reference", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,6 +49,14 @@ family from the refresh silently removes its gates)::
         --serving bench-serving.json \
         --store bench-store.json
 
+The chaos gate keeps its own baseline (its counters come from the
+fixed fault schedule, not the fault-free smoke run)::
+
+    python benchmarks/bench_chaos.py --json bench-chaos.json
+    python benchmarks/bench_compare.py refresh \
+        --baseline benchmarks/baselines/bench-chaos.json \
+        --chaos bench-chaos.json
+
 PRs labeled ``perf-regression-ok`` skip the CI gate (see README).
 """
 
@@ -359,6 +367,55 @@ def _store_metrics(path: str) -> dict[str, dict]:
     return metrics
 
 
+def _chaos_metrics(path: str) -> dict[str, dict]:
+    """Tracked metrics from the chaos benchmark JSON.
+
+    Everything here is deterministic by construction — the fault
+    schedules are hit-count windows over CRC-seeded queries — and the
+    gates encode the robustness contract of ``docs/robustness.md``:
+
+    * ``chaos.http_200_rate`` (floor 1.0) — every request in every
+      chaos phase completes with HTTP 200 (full, degraded or partial;
+      never a dropped connection or unhandled 500);
+    * ``chaos.retry_identical`` (floor 1.0, zero tolerance) — every
+      recovered response is bit-identical to its fault-free reference;
+    * ``chaos.dropped`` — gated at its expected baseline of 0;
+    * ``chaos.faults_injected`` and the recovery counters (respawns,
+      breaker opens, degraded responses, absorbed write faults, pool
+      respawns, stream interrupts) floor at 1 — a chaos run that
+      injects nothing, or whose recovery paths stop being exercised,
+      fails instead of silently passing.
+    """
+    report = _load(path)
+    resilience = report["resilience"]
+    metrics: dict[str, dict] = {}
+    metrics["chaos.http_200_rate"] = {
+        "value": report["http_200_rate"], "direction": "higher",
+        "tolerance": 0.0, "gate": True, "floor": 1.0}
+    metrics["chaos.retry_identical"] = {
+        "value": report["retry_identical"], "direction": "higher",
+        "tolerance": 0.0, "gate": True, "floor": 1.0}
+    metrics["chaos.dropped"] = {
+        "value": report["dropped"], "direction": "lower",
+        "tolerance": 0.0, "gate": True}
+    for name in ("requests_total", "identity_checks",
+                 "faults_injected"):
+        metrics[f"chaos.{name}"] = {
+            "value": report[name], "direction": "higher",
+            "tolerance": DEFAULT_TOLERANCE, "gate": True, "floor": 1.0}
+    for name in ("shard_respawns", "breaker_opens",
+                 "degraded_responses"):
+        metrics[f"chaos.{name}"] = {
+            "value": resilience[name], "direction": "higher",
+            "tolerance": DEFAULT_TOLERANCE, "gate": True, "floor": 1.0}
+    for name in ("write_faults_absorbed", "pool_respawns",
+                 "stream_interrupts"):
+        metrics[f"chaos.{name}"] = {
+            "value": report[name], "direction": "higher",
+            "tolerance": DEFAULT_TOLERANCE, "gate": True, "floor": 1.0}
+    return metrics
+
+
 def _throughput_metrics(path: str) -> dict[str, dict]:
     """Tracked metrics from the throughput harness JSON (informational:
     queries/second on shared runners is too noisy to gate)."""
@@ -397,6 +454,8 @@ def collect_metrics(args) -> dict[str, dict]:
         metrics.update(_serving_metrics(args.serving))
     if args.store:
         metrics.update(_store_metrics(args.store))
+    if args.chaos:
+        metrics.update(_chaos_metrics(args.chaos))
     if not metrics:
         raise SystemExit("no tracked metrics found in the given artifacts")
     return metrics
@@ -515,6 +574,9 @@ def main() -> int:
     parser.add_argument("--store", default=None,
                         help="plan-set store benchmark JSON "
                              "(bench_store.py --json)")
+    parser.add_argument("--chaos", default=None,
+                        help="chaos benchmark JSON "
+                             "(bench_chaos.py --json)")
     parser.add_argument("--allow-regression", action="store_true",
                         help="report regressions but exit 0 (local "
                              "experimentation)")

@@ -67,9 +67,10 @@ from .core import (DEFAULT_PRECISION_LADDER, Budget, OptimizationResult,
                    OptimizationRun, ProgressEvent, PWLRRPAOptions,
                    StoredPlanSet, decode_plan_set, encode_plan_set,
                    guarantee_bound, ladder_to)
+from .faults import InjectedFault
 from .query import Query
 from .serve import (GatewayClient, GatewayConfig, GatewayHandle,
-                    ServingGateway)
+                    ServingGateway, StreamInterrupted)
 from .serve import launch as launch_gateway
 from .service.cache import WarmStartCache
 from .service.registry import (Scenario, ScenarioRegistry,
@@ -89,6 +90,7 @@ __all__ = [
     "GatewayClient",
     "GatewayConfig",
     "GatewayHandle",
+    "InjectedFault",
     "OptimizationRun",
     "OptimizerSession",
     "PWLRRPAOptions",
@@ -99,6 +101,7 @@ __all__ = [
     "ServingGateway",
     "StoreCounters",
     "StoredPlanSet",
+    "StreamInterrupted",
     "WarmStartCache",
     "available_scenarios",
     "decode_plan_set",

@@ -102,6 +102,12 @@ KNOBS: tuple[Knob, ...] = (
          kind="path",
          doc="Path of an on-disk plan-set store the store test suite "
              "reuses across processes (CI's persistence leg)."),
+    Knob(name="REPRO_FAULTS",
+         default=None,
+         kind="path",
+         doc="Deterministic fault-injection schedule "
+             "('site:hits[:arg];...', see docs/robustness.md); unset "
+             "leaves every repro.faults failpoint inert."),
 )
 
 #: Name -> declaration index of :data:`KNOBS`.

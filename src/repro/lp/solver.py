@@ -25,6 +25,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..errors import SolverError
+from ..faults import failpoint
 from ..util import BoundedLRU, scalar_kernels_enabled
 from .batch_simplex import is_stackable, solve_simplex_batch, standard_form
 from .counters import LPStats, default_stats
@@ -309,6 +310,7 @@ class LinearProgramSolver:
         Raises:
             SolverError: If the backend fails in an unexpected way.
         """
+        failpoint("lp.solver.fail")  # inert without a REPRO_FAULTS schedule
         c, a_ub, b_ub, bounds = self._prepare(c, a_ub, b_ub, bounds)
 
         key = None

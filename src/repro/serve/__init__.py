@@ -18,9 +18,10 @@ Typical use::
 """
 
 from .admission import Admission, AdmissionController, TokenBucket
-from .client import GatewayClient, GatewayResponse
+from .client import GatewayClient, GatewayResponse, StreamInterrupted
 from .counters import (LATENCY_BUCKETS_MS, LatencyHistogram,
-                       ServingCounters, TenantCounters)
+                       ResilienceCounters, ServingCounters,
+                       TenantCounters)
 from .gateway import GatewayConfig, GatewayHandle, ServingGateway, launch
 from .protocol import (OptimizeRequest, ProtocolError, event_to_wire,
                        ndjson_line, parse_optimize_request,
@@ -38,9 +39,11 @@ __all__ = [
     "LatencyHistogram",
     "OptimizeRequest",
     "ProtocolError",
+    "ResilienceCounters",
     "ServingCounters",
     "ServingGateway",
     "SignatureRouter",
+    "StreamInterrupted",
     "TenantCounters",
     "TokenBucket",
     "event_to_wire",

@@ -124,6 +124,40 @@ class TenantCounters:
 
 
 @dataclass
+class ResilienceCounters:
+    """Deterministic self-healing event counters of one gateway.
+
+    Like :class:`TenantCounters` these are pure functions of the
+    request mix under a fixed fault schedule, so the chaos benchmark
+    (``bench_compare.py --chaos``) gates them exactly.  Mutated only
+    from the event-loop thread.
+
+    Attributes:
+        shard_respawns: Shards torn down and rebuilt after a fatal
+            executor/session failure (crash-detect + respawn).
+        breaker_opens: Per-shard circuit-breaker open transitions
+            (including a failed half-open probe re-opening).
+        degraded_responses: Requests answered HTTP 200 ``"degraded"``
+            from the persistent store after shard-side failure or
+            breaker shedding, with an honest coarser guarantee.
+        stop_sheds: In-flight requests shed with a clean 503 during
+            the :meth:`~repro.serve.gateway.ServingGateway.stop`
+            window instead of hanging on dead executors.
+    """
+
+    shard_respawns: int = 0
+    breaker_opens: int = 0
+    degraded_responses: int = 0
+    stop_sheds: int = 0
+
+    def snapshot(self) -> dict:
+        return {"shard_respawns": self.shard_respawns,
+                "breaker_opens": self.breaker_opens,
+                "degraded_responses": self.degraded_responses,
+                "stop_sheds": self.stop_sheds}
+
+
+@dataclass
 class ServingCounters:
     """The gateway's full counter tree.
 

@@ -29,6 +29,20 @@ error — the optimizer descends the precision ladder coarse-rungs-first
 and the response is the best completed rung as a ``"partial"`` with its
 ``(1 + alpha)``-guarantee (HTTP 200).  Only optimizer failures map to
 HTTP 500.
+
+Self-healing (see ``docs/robustness.md``): every shard is supervised —
+an exception out of the shard *machinery* (as opposed to a per-query
+error item) tears the shard down and respawns it with a fresh session,
+warm state restored through the shared persistent store, and the
+request retries once.  Requests that exhaust their attempts advance a
+per-shard circuit breaker; an open breaker sheds requests straight to
+the graceful-degradation path — a coarser cached plan set from the
+store, served HTTP 200 ``"degraded"`` with its honest guarantee — then
+half-open-probes the shard.  ``stop()`` never hangs on a wedged shard:
+in-flight requests race the stop event and shed with clean 503s inside
+a bounded window.  Every one of these paths has a deterministic
+:mod:`repro.faults` failpoint (inert without a ``REPRO_FAULTS``
+schedule) so chaos CI exercises them exactly.
 """
 
 from __future__ import annotations
@@ -40,12 +54,14 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from ..core import Budget, encode_plan_set, ladder_to
+from .. import faults
+from ..core import (Budget, PWLRRPAOptions, decode_plan_set,
+                    encode_plan_set, ladder_to)
 from ..service import OptimizerSession, WarmStartCache
 from ..service.signature import query_signature
 from ..store import PlanSetStore
 from .admission import AdmissionController
-from .counters import ServingCounters
+from .counters import ResilienceCounters, ServingCounters
 from .protocol import (OptimizeRequest, ProtocolError, event_to_wire,
                        ndjson_line, parse_optimize_request)
 from .router import SignatureRouter
@@ -57,9 +73,38 @@ _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
 
 #: HTTP status for each optimizer outcome.  ``partial`` and ``timeout``
 #: are successful responses: the deadline contract is best-so-far with
-#: a guarantee, not an error.
+#: a guarantee, not an error.  ``degraded`` is the graceful-degradation
+#: outcome: a coarser cached plan set served from the persistent store
+#: after shard failure, with its honest guarantee — a valid answer, so
+#: HTTP 200, never a dropped connection or an unhandled 500.
 _STATUS_HTTP = {"ok": 200, "cached": 200, "partial": 200,
-                "timeout": 200, "error": 500}
+                "timeout": 200, "degraded": 200, "error": 500}
+
+#: Consecutive failed requests (both attempts exhausted) that open a
+#: shard's circuit breaker.
+BREAKER_THRESHOLD = 3
+
+#: Requests shed straight to the degraded path while a breaker is open,
+#: before the next request half-open-probes the shard.  Request-count
+#: based, not clock based, so chaos runs are deterministic.
+BREAKER_COOLDOWN = 2
+
+#: Bound on the :meth:`ServingGateway.stop` shed window: how long stop
+#: waits for in-flight requests to notice the stop event and answer
+#: with a clean 503 before tearing the shards down.
+STOP_SHED_SECONDS = 1.0
+
+
+def _discard(future) -> None:
+    """Done-callback retrieving an abandoned future's exception.
+
+    Stop/disconnect paths deliberately abandon executor futures (the
+    shard thread may be hung on an injected fault); consuming the
+    exception here keeps asyncio's "exception was never retrieved"
+    warning out of the logs.
+    """
+    if not future.cancelled():
+        future.exception()
 
 
 @dataclass(frozen=True)
@@ -111,16 +156,31 @@ class GatewayConfig:
 
 @dataclass
 class _Shard:
-    """One optimizer shard: a session plus its single-thread executor."""
+    """One optimizer shard: a session plus its single-thread executor.
+
+    The breaker fields implement a per-shard circuit breaker over
+    *requests* (not attempts): ``failures`` counts consecutive requests
+    whose every attempt failed, ``breaker_open`` marks the breaker
+    tripped, ``breaker_shed`` counts requests shed to the degraded path
+    since it opened.  All three survive a shard respawn — the breaker
+    protects against a shard that keeps dying right after respawn.
+    """
 
     index: int
     session: OptimizerSession
     executor: ThreadPoolExecutor
     requests: int = 0
+    failures: int = 0
+    breaker_open: bool = False
+    breaker_shed: int = 0
 
 
 class _BadRequest(Exception):
     """Internal: malformed HTTP framing (before the JSON layer)."""
+
+
+class _StopShed(Exception):
+    """Internal: the stop event fired while a request was in flight."""
 
 
 @dataclass
@@ -151,10 +211,12 @@ class ServingGateway:
             tenant_burst=self.config.tenant_burst,
             max_pending=self.config.max_pending)
         self.counters = ServingCounters()
+        self.resilience = ResilienceCounters()
         self.shards: list[_Shard] = []
         self.store: PlanSetStore | None = None
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
+        self._stopping: asyncio.Event | None = None
         self.port: int | None = None
 
     # ------------------------------------------------------------------
@@ -166,25 +228,53 @@ class ServingGateway:
         if self._server is not None:
             raise RuntimeError("gateway already started")
         self._loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
         if self.config.store_path is not None:
             self.store = PlanSetStore(self.config.store_path)
         for index in range(self.config.shards):
-            cache = (WarmStartCache(store=self.store)
-                     if self.store is not None else None)
-            session = OptimizerSession(
-                scenario=self.config.scenario,
-                workers=self.config.shard_workers,
-                resolution=self.config.resolution,
-                warm_start=self.config.warm_start,
-                cache=cache,
-                registry=self._registry)
-            executor = ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix=f"repro-shard-{index}")
-            self.shards.append(_Shard(index, session, executor))
+            self.shards.append(self._build_shard(index))
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port,
             limit=2 ** 16)
         self.port = self._server.sockets[0].getsockname()[1]
+
+    def _build_shard(self, index: int) -> _Shard:
+        """Fresh session + single-thread executor for shard ``index``."""
+        cache = (WarmStartCache(store=self.store)
+                 if self.store is not None else None)
+        session = OptimizerSession(
+            scenario=self.config.scenario,
+            workers=self.config.shard_workers,
+            resolution=self.config.resolution,
+            warm_start=self.config.warm_start,
+            cache=cache,
+            registry=self._registry)
+        executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-shard-{index}")
+        return _Shard(index, session, executor)
+
+    def _respawn_shard(self, shard: _Shard) -> _Shard:
+        """Replace a fatally failed shard with a fresh one (crash heal).
+
+        The old executor is shut down without waiting (its thread may
+        be hung on the very fault that killed the shard) and the old
+        session is closed on a daemon thread so the event loop never
+        blocks on it.  Request/breaker accounting carries over — the
+        breaker must see through respawns to catch a shard that keeps
+        dying.  The fresh session shares the persistent store, so warm
+        state survives the crash.
+        """
+        self.resilience.shard_respawns += 1
+        shard.executor.shutdown(wait=False, cancel_futures=True)
+        threading.Thread(target=shard.session.close, daemon=True,
+                         name=f"repro-shard-{shard.index}-reap").start()
+        fresh = self._build_shard(shard.index)
+        fresh.requests = shard.requests
+        fresh.failures = shard.failures
+        fresh.breaker_open = shard.breaker_open
+        fresh.breaker_shed = shard.breaker_shed
+        self.shards[shard.index] = fresh
+        return fresh
 
     @property
     def draining(self) -> bool:
@@ -209,20 +299,39 @@ class ServingGateway:
             # and the database file alone is complete on disk.
             try:
                 self.store.flush()
-            except Exception:
+            except Exception:  # reprolint: disable=REP601
                 pass  # drain still succeeded; stop() will retry close
         return True
 
     async def stop(self) -> None:
-        """Close the listener and tear down the shard sessions."""
+        """Close the listener and tear down the shard sessions.
+
+        Never hangs on a wedged shard: stop first raises the stop
+        event, which every in-flight request races against (the single
+        path answers a clean 503, streams are abandoned), waits up to
+        :data:`STOP_SHED_SECONDS` for those responses to go out, then
+        tears the shards down without waiting on their threads —
+        sessions close on daemon threads, executors shut down with
+        ``wait=False``.  A request admitted a microsecond before stop
+        therefore completes or gets a clean 503; it is never dropped
+        and never blocks shutdown.
+        """
+        self.admission.draining = True
+        if self._stopping is not None:
+            self._stopping.set()
+        deadline = time.monotonic() + STOP_SHED_SECONDS
+        while self.admission.pending > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        for shard in self.shards:
-            shard.executor.shutdown(wait=True)
-            shard.session.close()
-        self.shards = []
+        shards, self.shards = self.shards, []
+        for shard in shards:
+            shard.executor.shutdown(wait=False, cancel_futures=True)
+            threading.Thread(target=shard.session.close, daemon=True,
+                             name=f"repro-shard-{shard.index}-close"
+                             ).start()
         if self.store is not None:
             self.store.close()
             self.store = None
@@ -429,6 +538,11 @@ class ServingGateway:
     def _optimize_on_shard(self, shard: _Shard,
                            request: OptimizeRequest):
         """Runs on the shard thread: one blocking optimize call."""
+        # Chaos failpoints (inert without a REPRO_FAULTS schedule): a
+        # slow shard stalls here, a dying shard raises — the loop side
+        # treats any exception from this call as shard-fatal.
+        faults.failpoint("serve.shard.slow")
+        faults.failpoint("serve.shard.die")
         budget = self._request_budget(request)
         if request.precision is not None or budget is not None:
             return shard.session.optimize(
@@ -453,24 +567,155 @@ class ServingGateway:
             doc["error"] = item.error
         return doc
 
+    async def _attempt(self, shard: _Shard, request: OptimizeRequest):
+        """One optimize attempt on a shard, racing the stop event.
+
+        Returns the shard's :class:`~repro.service.BatchItem`.  Raises
+        :class:`_StopShed` when :meth:`stop` fires first (the executor
+        future is abandoned — its exception, if any, is consumed by
+        :func:`_discard`), and propagates any exception the shard
+        machinery raised (shard-fatal: the caller respawns).
+        """
+        future = self._loop.run_in_executor(
+            shard.executor, self._optimize_on_shard, shard, request)
+        stop_wait = asyncio.ensure_future(self._stopping.wait())
+        try:
+            done, __ = await asyncio.wait(
+                {future, stop_wait},
+                return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            stop_wait.cancel()
+        if future not in done:
+            future.add_done_callback(_discard)
+            raise _StopShed
+        return future.result()
+
+    def _note_shard_success(self, shard: _Shard) -> None:
+        """A request succeeded: reset failures, close an open breaker."""
+        shard.failures = 0
+        if shard.breaker_open:  # successful half-open probe
+            shard.breaker_open = False
+            shard.breaker_shed = 0
+
+    def _note_shard_failure(self, shard: _Shard) -> None:
+        """A request exhausted its attempts: advance the breaker."""
+        shard.failures += 1
+        if shard.breaker_open:
+            # Failed half-open probe: re-open for another cooldown.
+            shard.breaker_shed = 0
+            self.resilience.breaker_opens += 1
+        elif shard.failures >= BREAKER_THRESHOLD:
+            shard.breaker_open = True
+            shard.breaker_shed = 0
+            self.resilience.breaker_opens += 1
+
     async def _serve_single(self, shard: _Shard,
                             request: OptimizeRequest, writer,
                             outcome: _Outcome) -> None:
-        try:
-            item = await self._loop.run_in_executor(
-                shard.executor, self._optimize_on_shard, shard, request)
-        except Exception as exc:  # optimizer bug — surface, keep serving
-            outcome.error = True
-            await self._simple(writer, 500, {"error": str(exc)})
+        if shard.breaker_open and shard.breaker_shed < BREAKER_COOLDOWN:
+            # Open breaker: shed straight to the degraded path without
+            # touching the (recently repeatedly failing) shard.
+            shard.breaker_shed += 1
+            await self._serve_degraded(shard, request, writer, outcome,
+                                       error="breaker open")
             return
-        if item.status == "error":
-            outcome.error = True
-        else:
+        item = None
+        last_error = None
+        for __ in range(2):
+            try:
+                item = await self._attempt(shard, request)
+            except _StopShed:
+                self.resilience.stop_sheds += 1
+                await self._simple(writer, 503, {"error": "stopping"})
+                return
+            except Exception as exc:  # reprolint: disable=REP601
+                # Shard-fatal (injected death, wedged session, optimizer
+                # machinery bug): heal by respawning, then retry once.
+                shard = self._respawn_shard(shard)
+                item = None
+                last_error = f"{type(exc).__name__}: {exc}"
+                continue
+            if item.status != "error":
+                break
+            # Error item (e.g. a poisoned worker result): retry once on
+            # the same, still-healthy shard.
+            last_error = item.error
+        if item is not None and item.status != "error":
+            self._note_shard_success(shard)
             outcome.completed = True
             outcome.deadline_partial = item.status in ("partial",
                                                        "timeout")
-        await self._simple(writer, _STATUS_HTTP[item.status],
-                           self._item_doc(item, shard.index))
+            await self._simple(writer, _STATUS_HTTP[item.status],
+                               self._item_doc(item, shard.index))
+            return
+        self._note_shard_failure(shard)
+        await self._serve_degraded(shard, request, writer, outcome,
+                                   error=last_error or "shard failure")
+
+    def _session_signature(self, request: OptimizeRequest) -> str:
+        """The signature shard sessions cache/store this request under.
+
+        Routing uses a coarser signature (scenario only); the degraded
+        path must look the plan set up under the *session's* key, which
+        folds in resolution and — for anytime requests — the re-targeted
+        approximation factor.
+        """
+        options = None
+        if request.precision is not None or (
+                self._request_budget(request) is not None):
+            options = PWLRRPAOptions(
+                approximation_factor=float(request.precision or 0.0))
+        return query_signature(request.query,
+                               scenario=self._scenario_name(request),
+                               resolution=self.config.resolution,
+                               options=options)
+
+    async def _serve_degraded(self, shard: _Shard,
+                              request: OptimizeRequest, writer,
+                              outcome: _Outcome, *,
+                              error: str | None = None) -> None:
+        """Last line of defense: serve a cached plan set from the store.
+
+        When the shards cannot answer (repeated death, open breaker),
+        any plan set the persistent store holds for the signature — of
+        *any* guarantee rung — beats a 500: the response is HTTP 200
+        with ``"status": "degraded"`` and the entry's honest
+        ``alpha``/``guarantee`` tags, so the client knows exactly what
+        it got.  Only when the store has nothing does the request fail
+        with a 500 (still a well-formed response, never a dropped
+        connection).
+        """
+        doc = None
+        if self.store is not None:
+            try:
+                doc = self.store.get(self._session_signature(request))
+            except Exception:  # reprolint: disable=REP601
+                doc = None  # store down too: fall through to 500
+        plan_set = None
+        if doc is not None:
+            try:
+                plan_set = decode_plan_set(doc)
+            except Exception:  # reprolint: disable=REP601
+                plan_set = None  # undecodable entry: fall through
+        if plan_set is None:
+            outcome.error = True
+            await self._simple(writer, 500,
+                               {"error": error or "shard unavailable"})
+            return
+        self.resilience.degraded_responses += 1
+        outcome.completed = True
+        payload = {"status": "degraded",
+                   "signature": self._session_signature(request),
+                   "scenario": self._scenario_name(request),
+                   "shard": shard.index,
+                   "alpha": float(doc.get("alpha", 0.0)),
+                   "guarantee": float(doc.get("guarantee", 1.0)),
+                   "seconds": 0.0,
+                   "plan_set": encode_plan_set(plan_set),
+                   "plans": len(plan_set.entries)}
+        if error:
+            payload["degraded_reason"] = error
+        await self._simple(writer, _STATUS_HTTP["degraded"], payload)
 
     # ----- streaming path ---------------------------------------------
 
@@ -503,7 +748,8 @@ class ServingGateway:
             if best is not None:
                 status = ("ok" if best.alpha <= target + 1e-12
                           else "partial")
-        except Exception as exc:
+        except Exception as exc:  # reprolint: disable=REP601
+            # Surfaced to the client as an error line + "error" status.
             status = "error"
             push({"kind": "error", "error": str(exc)})
         done = {"kind": "done", "status": status}
@@ -516,13 +762,35 @@ class ServingGateway:
     async def _serve_stream(self, shard: _Shard,
                             request: OptimizeRequest, writer,
                             outcome: _Outcome) -> None:
+        """Relay one NDJSON stream, racing the stop event per line.
+
+        On stop the stream is abandoned mid-flight: the client sees EOF
+        before the ``done`` line and raises
+        :class:`~repro.serve.client.StreamInterrupted` — a typed,
+        retryable signal, never a hang.  The ``serve.stream.disconnect``
+        failpoint injects the same mid-stream cut by hard-resetting the
+        socket after a written line.
+        """
         queue: asyncio.Queue = asyncio.Queue()
         worker = self._loop.run_in_executor(
             shard.executor, self._stream_on_shard, shard, request, queue)
         writer.write(self._stream_head())
+        abandoned = False
+        stop_wait = asyncio.ensure_future(self._stopping.wait())
         try:
             while True:
-                doc = await queue.get()
+                getter = asyncio.ensure_future(queue.get())
+                done, __ = await asyncio.wait(
+                    {getter, stop_wait},
+                    return_when=asyncio.FIRST_COMPLETED)
+                if getter not in done:
+                    # Stopping: abandon the stream (possibly hung shard
+                    # thread) instead of blocking shutdown on it.
+                    getter.cancel()
+                    abandoned = True
+                    self.resilience.stop_sheds += 1
+                    return
+                doc = getter.result()
                 if doc is None:
                     break
                 if doc.get("kind") == "done":
@@ -534,8 +802,20 @@ class ServingGateway:
                     outcome.events += 1
                 writer.write(ndjson_line(doc))
                 await writer.drain()
+                try:
+                    faults.failpoint("serve.stream.disconnect")
+                except faults.InjectedFault:
+                    # Injected mid-stream cut: hard-reset the socket so
+                    # the client observes a reset, then keep consuming
+                    # the worker's queue below so the shard stays clean.
+                    writer.transport.abort()
+                    break
         finally:
-            await worker
+            stop_wait.cancel()
+            if abandoned:
+                worker.add_done_callback(_discard)
+            else:
+                await worker
 
     # ------------------------------------------------------------------
     # Introspection documents
@@ -554,11 +834,15 @@ class ServingGateway:
         doc["shards"] = [
             {"index": shard.index,
              "requests": shard.requests,
+             "breaker_open": shard.breaker_open,
              "pool_spawns": shard.session.pool_spawns,
+             "pool_respawns": shard.session.pool_respawns,
              "lp_cache_hits": shard.session.lp_cache_hits_total,
              "store_seed_hits": shard.session.store_seed_hits,
              "store_seed_misses": shard.session.store_seed_misses}
             for shard in self.shards]
+        doc["resilience"] = self.resilience.snapshot()
+        doc["faults"] = faults.snapshot()
         if self.store is not None:
             doc["store"] = self.store.snapshot()
         return doc

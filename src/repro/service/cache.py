@@ -141,8 +141,8 @@ class WarmStartCache:
             return None
         try:
             doc = self.store.get(signature, max_alpha=max_alpha)
-        except Exception:
-            return None
+        except Exception:  # reprolint: disable=REP601
+            return None  # store unavailable: counts as a miss
         if doc is None:
             return None
         return doc, float(doc.get("alpha", 0.0))
@@ -208,8 +208,8 @@ class WarmStartCache:
             return None
         try:
             return decode_plan_set(doc)
-        except Exception:
-            return None
+        except Exception:  # reprolint: disable=REP601
+            return None  # undecodable document counts as a miss
 
     def put(self, signature: str, doc: dict,
             alpha: float = 0.0) -> None:
@@ -237,7 +237,11 @@ class WarmStartCache:
             try:
                 self.store.put(signature, store_doc)
             except Exception:
-                pass  # persistent tier unavailable: memory/disk still work
+                # Persistent tier unavailable (disk fault, locked or
+                # closed database): absorb — memory/disk tiers still
+                # serve — but count it so operators can see the store
+                # silently shedding writes.
+                self.store.counters.write_faults_absorbed += 1
         if self.directory and alpha > 1e-12:
             # Consult the shared disk tier *before* touching memory: a
             # tighter entry written by another process must veto both

@@ -69,6 +69,7 @@ from ..core import (DEFAULT_SEED_CAP, RUN_COMPLETED, SEED_JUMP_ALPHA, Budget,
                     validate_ladder)
 from .. import config
 from ..errors import OptimizationError
+from ..faults import failpoint
 from ..lp import (LPResultCache, install_shared_lp_cache,
                   shared_lp_cache)
 from ..query import Query
@@ -185,6 +186,11 @@ def _optimize_payload(payload: tuple) -> tuple[int, dict, dict, float]:
      anytime) = payload
     if scenario is None:
         scenario = default_registry().get(scenario_name)
+    # Chaos failpoints (inert without a REPRO_FAULTS schedule): a hang
+    # exercises the session deadline/recycle path, a crash kills the
+    # worker process hard (pool-breaking, exercises pool respawn).
+    failpoint("service.worker.hang")
+    failpoint("service.worker.crash")
     started = time.perf_counter()
     if anytime is None:
         result = scenario.optimize(query, resolution=resolution,
@@ -198,6 +204,10 @@ def _optimize_payload(payload: tuple) -> tuple[int, dict, dict, float]:
                                       options, anytime)
     elapsed = time.perf_counter() - started
     _drain_memo_delta(outcome)
+    if failpoint("service.worker.poison") is not None:
+        # Poisoned result: an undecodable document, which the receiving
+        # side must classify as an error item (never crash on).
+        outcome["doc"] = {"poisoned": True}
     return index, outcome, stats, elapsed
 
 
@@ -220,7 +230,8 @@ def _live_event_emitter(run, events_queue):
                            "guarantee": outcome.guarantee}
         try:
             events_queue.put(doc)
-        except Exception:
+        except Exception:  # reprolint: disable=REP601
+            # Broken queue proxy: degrade to replay-on-completion.
             run.on_event = None
     return on_event
 
@@ -264,7 +275,7 @@ def _decode_seed_spec(spec) -> tuple[list | None, object]:
         return None, seed_cap
     try:
         return [decode_plan(doc) for doc in seed_docs], seed_cap
-    except Exception:
+    except Exception:  # reprolint: disable=REP601
         return None, seed_cap  # unusable seed: run cold
 
 
@@ -296,8 +307,8 @@ def _run_anytime(scenario, query: Query, resolution: int, options,
         if events_queue is not None:
             try:
                 events_queue.put(None)
-            except Exception:
-                pass
+            except Exception:  # reprolint: disable=REP601
+                pass  # consumer recovers the tail from the replay trail
     rungs = [{"doc": encode_result(outcome.result),
               "alpha": outcome.alpha, "guarantee": outcome.guarantee}
              for outcome in run.completed]
@@ -433,6 +444,9 @@ class OptimizerSession:
         #: Times a worker pool was spawned; stays at 1 across any number
         #: of batch calls (the regression the legacy engine had).
         self.pool_spawns = 0
+        #: Broken pools (a worker killed hard) replaced with a fresh one
+        #: so a single crash does not poison the session.
+        self.pool_respawns = 0
         #: Worker LP-memo deltas merged back into the session memo, and
         #: how many of their entries were new to it.  Together with
         #: :attr:`lp_cache_hits_total` this shows the cross-batch
@@ -465,8 +479,8 @@ class OptimizerSession:
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
             self.close()
-        except Exception:
-            pass
+        except Exception:  # reprolint: disable=REP601
+            pass  # interpreter may be tearing down under GC
 
     def close(self) -> None:
         """Shut the session down (idempotent).
@@ -483,8 +497,8 @@ class OptimizerSession:
         if manager:
             try:
                 manager.shutdown()
-            except Exception:
-                pass
+            except Exception:  # reprolint: disable=REP601
+                pass  # manager already gone; close stays idempotent
         pool, self._pool = self._pool, None
         if pool is None:
             return
@@ -594,7 +608,8 @@ class OptimizerSession:
         if cached is None or cached[0] is not scenario:
             try:
                 pickle.dumps(scenario)
-            except Exception:
+            except Exception:  # reprolint: disable=REP601
+                # Unpicklable registration: by-name worker fallback.
                 cached = (scenario, None)
             else:
                 cached = (scenario, scenario)
@@ -621,7 +636,7 @@ class OptimizerSession:
         alpha = float(doc.get("alpha", 0.0))
         try:
             plan_set = decode_plan_set(doc)
-        except Exception:
+        except Exception:  # reprolint: disable=REP601
             # Undecodable cache entry (e.g. older format in a shared
             # directory): fall through and re-optimize.
             return None
@@ -664,7 +679,7 @@ class OptimizerSession:
                            features=features)
             rows = store.nearest(family, features, limit=1,
                                  exclude_signature=signature)
-        except Exception:
+        except Exception:  # reprolint: disable=REP601
             return None  # store unavailable: run cold
         if not rows:
             self.store_seed_misses += 1
@@ -744,8 +759,8 @@ class OptimizerSession:
         for rung_index, rung in enumerate(outcome.get("rungs", ())):
             try:
                 rung_sets[rung_index] = decode_plan_set(rung["doc"])
-            except Exception:
-                continue
+            except Exception:  # reprolint: disable=REP601
+                continue  # undecodable rung: ship the bare event
         events = []
         for doc in outcome.get("events", ()):
             event = ProgressEvent.from_dict(doc)
@@ -802,14 +817,21 @@ class OptimizerSession:
                  query, self.resolution,
                  options if options is not None else self.options,
                  anytime))
-        except Exception as exc:  # error isolation per query
+        except Exception as exc:  # reprolint: disable=REP601
+            # Error isolation per query: failures become error items.
             return self._error_item(index, signature, scenario_name,
                                     "error", f"{type(exc).__name__}: {exc}")
         finally:
             if self.lp_memo is not None:
                 install_shared_lp_cache(previous)
-        return self._ok_item(index, signature, scenario_name, outcome,
-                             stats, seconds)
+        try:
+            return self._ok_item(index, signature, scenario_name,
+                                 outcome, stats, seconds)
+        except Exception as exc:  # reprolint: disable=REP601
+            # Result decoding/caching failure (e.g. a poisoned outcome
+            # doc): an error item, mirroring the pooled collector path.
+            return self._error_item(index, signature, scenario_name,
+                                    "error", f"{type(exc).__name__}: {exc}")
 
     def _submit_pooled(self, index: int, signature: str,
                        scenario_name: str, query: Query,
@@ -835,15 +857,17 @@ class OptimizerSession:
             # A previously crashed worker broke the pool; respawn once
             # and retry so one hard crash does not poison the session.
             self._discard_broken_pool()
+            self.pool_respawns += 1
             try:
                 raw = self._ensure_pool().submit(_optimize_payload,
                                                  payload)
-            except Exception as exc:
+            except Exception as exc:  # reprolint: disable=REP601
                 item_future.set_result(self._error_item(
                     index, signature, scenario_name, "error",
                     f"{type(exc).__name__}: {exc}"))
                 return item_future, None
-        except Exception as exc:  # e.g. unpicklable query
+        except Exception as exc:  # reprolint: disable=REP601
+            # E.g. an unpicklable query: reported as an error item.
             item_future.set_result(self._error_item(
                 index, signature, scenario_name, "error",
                 f"{type(exc).__name__}: {exc}"))
@@ -870,7 +894,8 @@ class OptimizerSession:
                                              scenario_name, outcome,
                                              stats, seconds)
                 item_future.set_result(item)
-            except Exception as exc:  # decoding/caching failure
+            except Exception as exc:  # reprolint: disable=REP601
+                # Decoding/caching failure: reported as an error item.
                 item_future.set_result(self._error_item(
                     index, signature, scenario_name, "error",
                     f"{type(exc).__name__}: {exc}"))
@@ -1150,14 +1175,15 @@ class OptimizerSession:
         if self._manager is None:
             try:
                 self._manager = multiprocessing.Manager()
-            except Exception:
+            except Exception:  # reprolint: disable=REP601
+                # Constrained environment: degrade to replay streaming.
                 self._manager = False
         if not self._manager:
             return None
         try:
             return self._manager.Queue()
-        except Exception:
-            return None
+        except Exception:  # reprolint: disable=REP601
+            return None  # manager died: replay-on-completion fallback
 
     def _decode_live_event(self, doc: dict, signature: str
                            ) -> ProgressEvent:
@@ -1177,7 +1203,7 @@ class OptimizerSession:
             try:
                 event = replace(event,
                                 plan_set=decode_plan_set(rung["doc"]))
-            except Exception:
+            except Exception:  # reprolint: disable=REP601
                 pass  # undecodable rung: ship the bare event
         return event
 
@@ -1217,7 +1243,7 @@ class OptimizerSession:
                     if item_future.done():
                         break
                     continue
-                except Exception:
+                except Exception:  # reprolint: disable=REP601
                     break  # broken queue: recover from the replay trail
                 if doc is None:
                     finished = True
@@ -1229,8 +1255,8 @@ class OptimizerSession:
             while not finished:
                 try:
                     doc = events_queue.get_nowait()
-                except Exception:
-                    break
+                except Exception:  # reprolint: disable=REP601
+                    break  # empty or broken: the replay trail completes
                 if doc is None:
                     break
                 yield self._decode_live_event(doc, signature)

@@ -28,6 +28,10 @@ class StoreCounters:
         migrations: Schema migrations applied while opening the store.
         corruption_recoveries: Unreadable database files renamed aside
             and recreated empty (cold-start degradation).
+        write_faults_absorbed: Write-through ``put`` failures (disk
+            fault, locked database) absorbed by the warm-start cache
+            tier — the in-memory tiers kept serving and no caller saw
+            the error.
     """
 
     exact_hits: int = 0
@@ -39,6 +43,7 @@ class StoreCounters:
     nn_queries: int = 0
     migrations: int = 0
     corruption_recoveries: int = 0
+    write_faults_absorbed: int = 0
 
     def snapshot(self) -> dict[str, int]:
         """Flat ``name -> value`` dict (stable key order)."""

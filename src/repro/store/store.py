@@ -27,6 +27,7 @@ import threading
 import warnings
 from collections.abc import Sequence
 
+from ..faults import failpoint
 from .codec import (StoreRecord, decode_document, decode_features,
                     document_box, encode_document, encode_features)
 from .counters import StoreCounters
@@ -203,6 +204,11 @@ class PlanSetStore:
         Returns:
             Whether the document was written.
         """
+        # Failpoints (inert without a REPRO_FAULTS schedule): a failed
+        # or locked-out write surfaces as an exception the write-through
+        # tier absorbs (counters.write_faults_absorbed).
+        failpoint("store.put.fail")
+        failpoint("store.put.locked")
         meta = self.metadata(signature)
         family = family if family is not None else (
             meta.family if meta else "")
@@ -251,6 +257,10 @@ class PlanSetStore:
                 "VALUES (?,?,?)",
                 [(plan_set_id, dim, float(value))
                  for dim, value in enumerate(features)])
+            # Crash window: a writer killed here leaves an uncommitted
+            # WAL transaction that the next open must roll back cleanly
+            # (tests/test_store.py torn-put coverage).
+            failpoint("store.put.torn")
             conn.commit()
         self.counters.puts += 1
         return True

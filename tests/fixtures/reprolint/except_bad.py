@@ -1,0 +1,27 @@
+"""Planted REP601 violations: swallowed exceptions.
+
+Copied under ``src/repro/serve/`` (or ``src/repro/service/``) by the
+tests — outside those prefixes every handler here is out of scope.
+"""
+
+
+def swallow_bare(work):
+    try:
+        work()
+    except:  # noqa: E722
+        pass
+
+
+def swallow_exception(work):
+    try:
+        work()
+    except Exception:
+        return None
+
+
+def swallow_aliased(work, log):
+    try:
+        work()
+    except Exception as exc:
+        # Logging is not accounting: no re-raise, no counter.
+        log.append(str(exc))

@@ -1,0 +1,49 @@
+"""Compliant failure handling under REP601: every broad handler
+re-raises, increments a counter, or carries a justified line-scoped
+suppression — and typed / ``BaseException`` handlers are out of scope.
+"""
+
+
+class Counters:
+    def __init__(self):
+        self.absorbed = 0
+
+
+COUNTERS = Counters()
+
+
+def reraises(work):
+    try:
+        work()
+    except Exception as exc:
+        raise RuntimeError("wrapped") from exc
+
+
+def counted(work):
+    try:
+        work()
+    except Exception:
+        COUNTERS.absorbed += 1
+
+
+def justified(work):
+    try:
+        work()
+    # Teardown guard: the interpreter may already be finalizing, so
+    # any failure here is unobservable by design.
+    except Exception:  # reprolint: disable=REP601
+        pass
+
+
+def typed(work):
+    try:
+        work()
+    except ValueError:
+        pass
+
+
+def teardown(work):
+    try:
+        work()
+    except BaseException:
+        pass

@@ -1,0 +1,272 @@
+"""Chaos tests: injected faults and the self-healing serving tier.
+
+Every test drives a real gateway (or session) under a deterministic
+``repro.faults`` schedule and asserts the recovery contract from
+``docs/robustness.md``: no dropped connections, clean typed errors,
+honest degraded responses, and — the core invariant — results after
+recovery bit-identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.api import OptimizerSession
+from repro.core import encode_plan_set
+from repro.query import QueryGenerator
+from repro.serve import (GatewayClient, GatewayConfig, StreamInterrupted,
+                         launch)
+
+GENEROUS = dict(tenant_rate=1000.0, tenant_burst=1000.0)
+
+
+def make_query(seed: int = 0, num_tables: int = 3):
+    return QueryGenerator(seed=seed).generate(num_tables, "chain", 1)
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_faults(monkeypatch):
+    """Chaos schedules are installed per test, never inherited."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+# ----------------------------------------------------------------------
+# Shard death: respawn, retry, bit-identity
+# ----------------------------------------------------------------------
+
+class TestShardDeath:
+    def test_retried_request_is_bit_identical_after_recovery(self, tmp_path):
+        query = make_query(seed=31, num_tables=4)
+        with launch(GatewayConfig(shards=1,
+                                  store_path=str(tmp_path / "plans.db"),
+                                  **GENEROUS)) as handle:
+            client = GatewayClient(handle.host, handle.port,
+                                   timeout=120.0)
+            baseline = client.optimize(query)
+            assert baseline.status_code == 200
+
+            faults.install("serve.shard.die:1")
+            healed = client.optimize(query)
+            assert healed.status_code == 200
+            assert healed.doc["status"] in ("ok", "cached")
+            assert healed.doc["plan_set"] == baseline.doc["plan_set"]
+
+            metrics = client.metrics()
+            assert metrics["resilience"]["shard_respawns"] == 1
+            assert metrics["faults"]["injected"] == 1
+            assert metrics["faults"]["sites"] == {"serve.shard.die": 1}
+
+    def test_shard_death_without_store_still_answers_cleanly(self):
+        # No persistent tier to degrade to: a shard that dies on both
+        # attempts must still produce a well-formed 500, never a
+        # dropped connection.
+        with launch(GatewayConfig(shards=1, **GENEROUS)) as handle:
+            client = GatewayClient(handle.host, handle.port,
+                                   timeout=120.0)
+            faults.install("serve.shard.die:1-2")
+            response = client.optimize(make_query(seed=32))
+            assert response.status_code == 500
+            assert "InjectedFault" in response.doc["error"]
+            assert client.metrics()["resilience"]["shard_respawns"] == 2
+
+    def test_client_retry_turns_shard_death_into_success(self, tmp_path):
+        # The client-side leg of the invariant: with retries enabled a
+        # caller never sees the 500 at all.
+        query = make_query(seed=33)
+        with launch(GatewayConfig(shards=1,
+                                  store_path=str(tmp_path / "plans.db"),
+                                  **GENEROUS)) as handle:
+            patient = GatewayClient(handle.host, handle.port,
+                                    timeout=120.0, retries=2,
+                                    backoff_base=0.01)
+            baseline = patient.optimize(query)
+            assert baseline.status_code == 200
+            # Both attempts of the first request die (degraded answer
+            # serves it); the retried request runs fault-free.
+            faults.install("serve.shard.die:1-2")
+            response = patient.optimize(query)
+            assert response.status_code == 200
+            assert response.doc["plan_set"] == baseline.doc["plan_set"]
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+class TestCircuitBreaker:
+    def test_breaker_opens_sheds_then_probes_shut(self, tmp_path):
+        query = make_query(seed=34, num_tables=4)
+        with launch(GatewayConfig(shards=1,
+                                  store_path=str(tmp_path / "plans.db"),
+                                  **GENEROUS)) as handle:
+            client = GatewayClient(handle.host, handle.port,
+                                   timeout=120.0)
+            warm = client.optimize(query)
+            assert warm.status_code == 200
+
+            # Hits 1-6 cover exactly requests 1-3 (two attempts each,
+            # both dying).  Request 3 trips the breaker (threshold 3);
+            # requests 4-5 are shed to the degraded path without
+            # touching the shard; request 6 is the half-open probe and
+            # succeeds (hit 7 is outside the window), closing the
+            # breaker.
+            faults.install("serve.shard.die:1-6")
+            responses = [client.optimize(query) for _ in range(6)]
+            assert [r.status_code for r in responses] == [200] * 6
+            statuses = [r.doc["status"] for r in responses]
+            assert statuses[:5] == ["degraded"] * 5
+            assert statuses[5] in ("ok", "cached")
+            assert all(r.doc["plans"] > 0 for r in responses)
+
+            resilience = client.metrics()["resilience"]
+            assert resilience["shard_respawns"] == 6
+            assert resilience["breaker_opens"] == 1
+            assert resilience["degraded_responses"] == 5
+
+    def test_degraded_response_carries_honest_guarantee(self, tmp_path):
+        query = make_query(seed=35)
+        with launch(GatewayConfig(shards=1,
+                                  store_path=str(tmp_path / "plans.db"),
+                                  **GENEROUS)) as handle:
+            client = GatewayClient(handle.host, handle.port,
+                                   timeout=120.0)
+            warm = client.optimize(query)
+            faults.install("serve.shard.die:1-2")
+            degraded = client.optimize(query)
+            assert degraded.status_code == 200
+            assert degraded.doc["status"] == "degraded"
+            assert "degraded_reason" in degraded.doc
+            assert degraded.doc["guarantee"] >= 1.0
+            assert degraded.doc["signature"] == warm.doc["signature"]
+
+
+# ----------------------------------------------------------------------
+# Streaming interruption
+# ----------------------------------------------------------------------
+
+class TestStreamInterruption:
+    def test_mid_stream_cut_raises_typed_error_with_last_event(self):
+        query = make_query(seed=36, num_tables=4)
+        with launch(GatewayConfig(shards=1, **GENEROUS)) as handle:
+            client = GatewayClient(handle.host, handle.port,
+                                   timeout=120.0)
+            faults.install("serve.stream.disconnect:1")
+            with pytest.raises(StreamInterrupted) as excinfo:
+                for _ in client.stream_optimize(query):
+                    pass
+            assert excinfo.value.events_seen == 1
+            assert excinfo.value.last_event is not None
+            assert excinfo.value.last_event["kind"]
+
+            # The schedule window has passed: a straight retry streams
+            # to completion.
+            events = list(client.stream_optimize(query))
+            assert events[-1]["kind"] == "done"
+            assert events[-1]["status"] in ("ok", "partial")
+
+
+# ----------------------------------------------------------------------
+# Store write faults
+# ----------------------------------------------------------------------
+
+class TestStoreWriteFaults:
+    def test_write_faults_absorbed_while_serving_continues(self, tmp_path):
+        with launch(GatewayConfig(shards=1,
+                                  store_path=str(tmp_path / "plans.db"),
+                                  **GENEROUS)) as handle:
+            client = GatewayClient(handle.host, handle.port,
+                                   timeout=120.0)
+            faults.install("store.put.fail:*")
+            first = client.optimize(make_query(seed=37))
+            second = client.optimize(make_query(seed=37))
+            assert first.status_code == 200
+            assert second.status_code == 200
+            assert second.doc["plan_set"] == first.doc["plan_set"]
+
+            metrics = client.metrics()
+            assert metrics["store"]["write_faults_absorbed"] >= 1
+            assert metrics["faults"]["sites"]["store.put.fail"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Stop/drain race
+# ----------------------------------------------------------------------
+
+class TestStopRace:
+    def test_request_in_flight_at_stop_gets_clean_503(self):
+        # A shard wedged for far longer than the stop shed window: the
+        # in-flight request must get a clean 503 (never a hang, never a
+        # dropped connection) and stop must return promptly anyway.
+        with launch(GatewayConfig(shards=1, **GENEROUS)) as handle:
+            client = GatewayClient(handle.host, handle.port,
+                                   timeout=120.0)
+            faults.install("serve.shard.slow:1:30.0")
+            results: dict = {}
+
+            def run() -> None:
+                results["response"] = client.optimize(make_query(seed=38))
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            time.sleep(0.5)  # let the request reach the wedged shard
+            started = time.monotonic()
+            handle.close()
+            elapsed = time.monotonic() - started
+            thread.join(30.0)
+            assert not thread.is_alive()
+            assert elapsed < 15.0
+            response = results["response"]
+            assert response.status_code == 503
+            assert response.doc == {"error": "stopping"}
+
+
+# ----------------------------------------------------------------------
+# Worker-pool crashes (session level)
+# ----------------------------------------------------------------------
+
+class TestWorkerCrash:
+    def test_pool_respawn_then_identical_result(self, monkeypatch):
+        # The crash schedule reaches pool workers through the
+        # environment (children parse REPRO_FAULTS themselves).  Clear
+        # it before the retry or every respawned worker dies the same
+        # deterministic death — which is exactly the point.
+        query = make_query(seed=39)
+        monkeypatch.setenv("REPRO_FAULTS", "service.worker.crash:1")
+        faults.reset()
+        with OptimizerSession("cloud", workers=2) as session:
+            crashed = session.map([query])[0]
+            assert crashed.status == "error"
+            monkeypatch.delenv("REPRO_FAULTS")
+            faults.reset()
+            healed = session.map([query])[0]
+            assert healed.ok
+            assert session.pool_respawns >= 1
+        with OptimizerSession("cloud") as reference:
+            expected = reference.map([query])[0]
+        assert json.dumps(encode_plan_set(healed.plan_set)) == \
+            json.dumps(encode_plan_set(expected.plan_set))
+
+    def test_poisoned_worker_result_is_retried_by_gateway(self, tmp_path):
+        # A worker that returns garbage (flag-kind failpoint) yields an
+        # error item; the gateway retries once on the same shard and
+        # the second, unpoisoned attempt serves normally.
+        query = make_query(seed=40)
+        with launch(GatewayConfig(shards=1,
+                                  store_path=str(tmp_path / "plans.db"),
+                                  **GENEROUS)) as handle:
+            client = GatewayClient(handle.host, handle.port,
+                                   timeout=120.0)
+            faults.install("service.worker.poison:1")
+            response = client.optimize(query)
+            assert response.status_code == 200
+            assert response.doc["status"] in ("ok", "cached")
+            resilience = client.metrics()["resilience"]
+            assert resilience["shard_respawns"] == 0

@@ -1,0 +1,168 @@
+"""Unit tests for the deterministic fault-injection substrate
+(``repro.faults``): schedule grammar, hit-window semantics, action
+kinds, stats accounting, and — most importantly — inertness when no
+schedule is installed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.faults import InjectedFault
+
+
+@pytest.fixture(autouse=True)
+def clean_slate(monkeypatch):
+    """Every test starts and ends with no schedule and zero stats."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+# ---------------------------------------------------------------------------
+# Schedule grammar
+
+
+def test_parse_rejects_unknown_site():
+    with pytest.raises(ValueError, match="unknown failpoint site"):
+        faults.parse_schedule("store.put.typo:1")
+
+
+def test_parse_rejects_malformed_terms():
+    for spec in ("store.put.fail",          # no hits field
+                 "store.put.fail:x",        # non-numeric window
+                 "store.put.fail:0",        # hits are 1-based
+                 "store.put.fail:5-2",      # descending range
+                 ";;"):                     # no terms at all
+        with pytest.raises(ValueError):
+            faults.parse_schedule(spec)
+
+
+def test_parse_accepts_every_window_form_and_args():
+    schedule = faults.parse_schedule(
+        "store.put.fail:*; serve.shard.slow:2:0.01;"
+        "lp.solver.fail:1-3; service.worker.hang:4+")
+    assert schedule.spec.startswith("store.put.fail:*")
+
+
+# ---------------------------------------------------------------------------
+# Inertness
+
+
+def test_failpoints_inert_without_a_schedule():
+    assert not faults.active()
+    for site in faults.SITES:
+        assert faults.failpoint(site) is None
+    assert faults.snapshot() == {"injected": 0, "sites": {}}
+
+
+def test_env_schedule_loads_lazily(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "lp.solver.fail:1")
+    faults.reset()  # back to the unloaded sentinel
+    assert faults.active()
+    with pytest.raises(InjectedFault):
+        faults.failpoint("lp.solver.fail")
+    assert faults.failpoint("lp.solver.fail") is None  # window passed
+
+
+def test_install_none_disables_even_with_env_set(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "lp.solver.fail:*")
+    faults.install(None)
+    assert not faults.active()
+    assert faults.failpoint("lp.solver.fail") is None
+
+
+# ---------------------------------------------------------------------------
+# Hit windows fire deterministically
+
+
+def test_single_hit_window():
+    faults.install("store.put.fail:2")
+    assert faults.failpoint("store.put.fail") is None
+    with pytest.raises(InjectedFault):
+        faults.failpoint("store.put.fail")
+    assert faults.failpoint("store.put.fail") is None
+
+
+def test_range_and_open_windows():
+    faults.install("store.put.fail:2-3; store.put.locked:3+")
+    fired = []
+    for hit in range(1, 6):
+        try:
+            faults.failpoint("store.put.fail")
+        except InjectedFault:
+            fired.append(hit)
+    assert fired == [2, 3]
+
+    fired = []
+    for hit in range(1, 6):
+        try:
+            faults.failpoint("store.put.locked")
+        except InjectedFault:
+            fired.append(hit)
+    assert fired == [3, 4, 5]
+
+
+def test_star_window_fires_every_hit():
+    faults.install("lp.solver.fail:*")
+    for _ in range(4):
+        with pytest.raises(InjectedFault):
+            faults.failpoint("lp.solver.fail")
+    assert faults.snapshot()["sites"] == {"lp.solver.fail": 4}
+
+
+def test_unscheduled_sites_are_not_counted():
+    faults.install("lp.solver.fail:1")
+    assert faults.failpoint("store.put.fail") is None
+    with pytest.raises(InjectedFault):
+        faults.failpoint("lp.solver.fail")
+    assert faults.snapshot() == {
+        "injected": 1, "sites": {"lp.solver.fail": 1}}
+
+
+# ---------------------------------------------------------------------------
+# Action kinds
+
+
+def test_flag_site_returns_arg_or_true():
+    faults.install("service.worker.poison:1:tainted;"
+                   "service.worker.poison:2")
+    assert faults.failpoint("service.worker.poison") == "tainted"
+    assert faults.failpoint("service.worker.poison") is True
+    assert faults.failpoint("service.worker.poison") is None
+
+
+def test_sleep_site_blocks_then_returns_none():
+    faults.install("serve.shard.slow:1:0.0")
+    assert faults.failpoint("serve.shard.slow") is None
+    assert faults.snapshot()["sites"] == {"serve.shard.slow": 1}
+
+
+def test_exit_site_degrades_to_raise_in_the_main_process():
+    # `exit` kinds may only kill *child* processes; in the main
+    # process (this test runner) they raise instead — a schedule can
+    # never take down the gateway or a user's shell.
+    faults.install("service.worker.crash:1")
+    with pytest.raises(InjectedFault):
+        faults.failpoint("service.worker.crash")
+
+
+def test_raise_site_message_carries_site_and_arg():
+    faults.install("serve.shard.die:1:flaky-disk")
+    with pytest.raises(InjectedFault, match="serve.shard.die: flaky-disk"):
+        faults.failpoint("serve.shard.die")
+
+
+# ---------------------------------------------------------------------------
+# Stats accounting
+
+
+def test_install_resets_stats_between_phases():
+    faults.install("lp.solver.fail:*")
+    with pytest.raises(InjectedFault):
+        faults.failpoint("lp.solver.fail")
+    assert faults.snapshot()["injected"] == 1
+    faults.install("store.put.fail:1")
+    assert faults.snapshot() == {"injected": 0, "sites": {}}

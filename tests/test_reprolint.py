@@ -67,7 +67,7 @@ def rule_ids(result) -> list[str]:
 # Rule registry
 
 
-def test_registry_covers_all_five_families():
+def test_registry_covers_all_six_families():
     ids = [rule.id for rule in all_rules()]
     assert ids == sorted(set(ids))
     assert set(ids) == {
@@ -76,6 +76,7 @@ def test_registry_covers_all_five_families():
         "REP301", "REP302",
         "REP401", "REP402",
         "REP501", "REP502",
+        "REP601",
     }
 
 
@@ -309,6 +310,43 @@ def test_rep5xx_fire_on_planted_violations(tmp_path):
 def test_rep5xx_silent_on_compliant_module(tmp_path):
     root = make_tree(tmp_path, {
         "src/repro/clean.py": fixture("api_ok.py")})
+    assert lint(root, "src").findings == []
+
+
+# ---------------------------------------------------------------------------
+# REP6xx failure-handling discipline
+
+
+def test_rep601_fires_on_swallowed_exceptions_in_serve(tmp_path):
+    root = make_tree(tmp_path, {
+        "src/repro/serve/planted.py": fixture("except_bad.py")})
+    result = lint(root, "src")
+    assert rule_ids(result) == ["REP601", "REP601", "REP601"]
+    messages = " | ".join(f.message for f in result.findings)
+    assert "bare except" in messages
+    assert "except Exception" in messages
+
+
+def test_rep601_covers_the_service_layer_too(tmp_path):
+    root = make_tree(tmp_path, {
+        "src/repro/service/planted.py": fixture("except_bad.py")})
+    assert rule_ids(lint(root, "src")) == ["REP601"] * 3
+
+
+def test_rep601_scoped_to_the_serving_tier(tmp_path):
+    # The same handlers in e.g. the store are judged by other means —
+    # broad excepts there are legitimate best-effort guards.
+    root = make_tree(tmp_path, {
+        "src/repro/store/planted.py": fixture("except_bad.py")})
+    assert lint(root, "src").findings == []
+
+
+def test_rep601_silent_on_accounted_or_suppressed_handlers(tmp_path):
+    # Re-raise, counter increment, justified suppression, typed
+    # handler, BaseException teardown guard: all clean — and the
+    # suppression counts as used (no REP001).
+    root = make_tree(tmp_path, {
+        "src/repro/serve/clean.py": fixture("except_ok.py")})
     assert lint(root, "src").findings == []
 
 

@@ -23,13 +23,15 @@ from __future__ import annotations
 
 import ast
 import json
+import multiprocessing
+import os
 import sqlite3
 import threading
 from pathlib import Path
 
 import pytest
 
-from repro import config
+from repro import config, faults
 from repro.core import encode_result
 from repro.query import QueryGenerator
 from repro.service.registry import get_scenario
@@ -250,7 +252,41 @@ class TestSchemaVersioning:
                                       ).exists()
 
 
+def _torn_put_victim(path, doc) -> None:
+    """Child-process body: die mid-put, after the writes, before the
+    commit (the ``store.put.torn`` failpoint's crash window)."""
+    faults.install("store.put.torn:1")
+    with PlanSetStore(path) as store:
+        store.put("torn-victim", doc)
+    os._exit(0)  # pragma: no cover - only reached if the fault missed
+
+
 class TestRobustness:
+    def test_torn_put_crash_recovers_with_no_lost_entries(self, tmp_path,
+                                                          plan_doc):
+        # Crash consistency: a writer killed hard mid-transaction must
+        # cost at most its own in-flight put.  The next open rolls the
+        # torn WAL transaction back silently — every prior entry
+        # intact, no quarantine false-positive, no recovery counter.
+        path = tmp_path / "store.db"
+        with PlanSetStore(path) as store:
+            for i in range(5):
+                store.put(f"prior-{i}", plan_doc)
+
+        process = multiprocessing.Process(
+            target=_torn_put_victim, args=(path, plan_doc))
+        process.start()
+        process.join(60.0)
+        assert process.exitcode == faults.FAULT_EXIT_CODE
+
+        with PlanSetStore(path) as reopened:
+            assert reopened.counters.corruption_recoveries == 0
+            assert len(reopened) == 5
+            for i in range(5):
+                assert reopened.get(f"prior-{i}") == plan_doc
+            assert reopened.get("torn-victim") is None
+        assert not (tmp_path / "store.db.corrupt").exists()
+
     def test_corrupted_file_degrades_to_cold_start(self, tmp_path,
                                                    plan_doc):
         path = tmp_path / "store.db"

@@ -29,6 +29,12 @@ BIT_IDENTITY_PREFIXES = (
 #: event-loop-thread-only by design (REP402).
 SERVE_PREFIX = "src/repro/serve/"
 
+#: Root-relative prefix of the session/worker-pool service layer.
+#: Together with :data:`SERVE_PREFIX` this is the recovery-critical
+#: tier where silently swallowed exceptions hide real failures
+#: (REP601).
+SERVICE_PREFIX = "src/repro/service/"
+
 #: The knob registry module — the one file allowed to read ``REPRO_*``
 #: environment variables directly (REP201).
 CONFIG_MODULE = "src/repro/config.py"
@@ -61,7 +67,8 @@ WALLCLOCK_ALLOWLIST: frozenset[tuple[str, str]] = frozenset({
 COUNTER_CLASSES: dict[str, tuple[str, ...]] = {
     "src/repro/core/stats.py": ("OptimizerStats",),
     "src/repro/lp/counters.py": ("LPStats",),
-    "src/repro/serve/counters.py": ("TenantCounters",),
+    "src/repro/serve/counters.py": ("TenantCounters",
+                                    "ResilienceCounters"),
     "src/repro/store/counters.py": ("StoreCounters",),
 }
 
@@ -127,6 +134,9 @@ class ProjectContext:
 
     def is_serve(self, rel: str) -> bool:
         return rel.startswith(SERVE_PREFIX)
+
+    def is_service(self, rel: str) -> bool:
+        return rel.startswith(SERVICE_PREFIX)
 
     def is_config_module(self, rel: str) -> bool:
         return rel == CONFIG_MODULE

@@ -5,9 +5,11 @@
 * REP3xx — counter consistency across code, docs and the CI baseline
 * REP4xx — lock discipline
 * REP5xx — API surface (``__all__``, deprecation shims)
+* REP6xx — failure-handling discipline in the serving tier
 
 ``REP001`` (unused suppression) and ``REP002`` (parse/directive error)
 are emitted by the engine itself.
 """
 
-from . import api, counters, determinism, knobs, locks  # noqa: F401
+from . import (api, counters, determinism, knobs, locks,  # noqa: F401
+               robustness)

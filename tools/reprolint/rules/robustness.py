@@ -1,0 +1,72 @@
+"""REP6xx — failure-handling discipline in the serving tier.
+
+* REP601 — no silently swallowed exceptions in ``repro.serve`` /
+  ``repro.service``: a bare ``except:`` or ``except Exception:``
+  handler must either re-raise, increment a counter (``+=`` on some
+  attribute — the "absorbed but accounted for" pattern), or carry a
+  line-scoped ``# reprolint: disable=REP601`` with a justification in
+  an adjacent comment.  The serving tier is the self-healing layer:
+  an exception that vanishes there is a fault the recovery machinery
+  (respawn, breaker, degraded path — docs/robustness.md) never sees,
+  and the chaos gate cannot account for.  Typed excepts and
+  ``except BaseException`` (teardown guards that must not mask
+  ``SystemExit``/``KeyboardInterrupt`` semantics) are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Rule, register
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    """Bare ``except:`` or ``except Exception`` (optionally aliased).
+
+    Typed handlers and ``except BaseException`` are deliberate and
+    stay out of scope; only the catch-everything-ordinary forms hide
+    failures indiscriminately.
+    """
+    if handler.type is None:
+        return True
+    node = handler.type
+    return isinstance(node, ast.Name) and node.id == "Exception"
+
+
+def _accounts_for_failure(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body re-raises or increments a counter."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if (isinstance(node, ast.AugAssign)
+                and isinstance(node.op, ast.Add)):
+            return True
+    return False
+
+
+@register
+class SwallowedException(Rule):
+    id = "REP601"
+    title = "swallowed exception in the serving tier"
+
+    def check_file(self, ctx: FileContext):
+        project = ctx.project
+        if project is None or not (project.is_serve(ctx.rel)
+                                   or project.is_service(ctx.rel)):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad_handler(node):
+                continue
+            if _accounts_for_failure(node):
+                continue
+            caught = ("bare except" if node.type is None
+                      else "except Exception")
+            yield ctx.finding(
+                self.id, node,
+                f"{caught} swallows the failure: in the serving tier "
+                f"every absorbed exception must re-raise, increment a "
+                f"counter, or carry a line-scoped "
+                f"`# reprolint: disable=REP601` with the justification "
+                f"in an adjacent comment (docs/robustness.md)")
